@@ -1,0 +1,26 @@
+"""Benchmark: regenerate Figure 2 (P@N curves at 64 and 128 bits)."""
+
+from benchmarks.conftest import BENCH_SCALE, save_result
+from repro.experiments import run_figure2
+
+
+def test_figure2(benchmark, results_dir):
+    panels = benchmark.pedantic(
+        run_figure2,
+        kwargs=dict(scale=BENCH_SCALE),
+        rounds=1,
+        iterations=1,
+    )
+    lines = []
+    for (dataset, bits), family in panels.items():
+        lines.append(family.render())
+        lines.append("")
+        # Shape check: UHSCM's curve should dominate at small N.
+        first_points = {
+            m: family.y_values[m][0] for m in family.methods
+        }
+        best = max(first_points, key=first_points.get)
+        lines.append(f"  -> best P@100 on {dataset}@{bits}: {best}")
+        lines.append("")
+        benchmark.extra_info[f"best_p100_{dataset}_{bits}"] = best
+    save_result(results_dir, "figure2", "\n".join(lines))

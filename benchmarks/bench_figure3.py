@@ -1,0 +1,34 @@
+"""Benchmark: regenerate Figure 3 (PR curves via Hamming-radius sweep)."""
+
+import numpy as np
+
+from benchmarks.conftest import BENCH_SCALE, save_result
+from repro.experiments import run_figure3
+
+
+def _area_under_pr(recall: np.ndarray, precision: np.ndarray) -> float:
+    return float(np.trapezoid(precision, recall))
+
+
+def test_figure3(benchmark, results_dir):
+    panels = benchmark.pedantic(
+        run_figure3,
+        kwargs=dict(scale=BENCH_SCALE),
+        rounds=1,
+        iterations=1,
+    )
+    lines = []
+    for (dataset, bits), family in panels.items():
+        lines.append(family.render())
+        aucs = {
+            m: _area_under_pr(family.x_values[m], family.y_values[m])
+            for m in family.methods
+        }
+        ranked = sorted(aucs, key=aucs.get, reverse=True)
+        lines.append(
+            "  -> PR-AUC ranking: "
+            + "  ".join(f"{m}={aucs[m]:.3f}" for m in ranked)
+        )
+        lines.append("")
+        benchmark.extra_info[f"best_auc_{dataset}_{bits}"] = ranked[0]
+    save_result(results_dir, "figure3", "\n".join(lines))

@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Figure 4 (hyper-parameter sensitivity sweeps)."""
+
+from benchmarks.conftest import BENCH_SCALE, save_result
+from repro.experiments import run_figure4
+
+
+def test_figure4(benchmark, results_dir):
+    panels = benchmark.pedantic(
+        run_figure4,
+        kwargs=dict(scale=BENCH_SCALE, n_bits=64),
+        rounds=1,
+        iterations=1,
+    )
+    lines = []
+    for (dataset, parameter), sweep in panels.items():
+        lines.append(sweep.render())
+        benchmark.extra_info[f"best_{parameter}_{dataset}"] = sweep.best_value
+    save_result(results_dir, "figure4", "\n".join(lines))

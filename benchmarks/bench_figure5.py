@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Figure 5 (t-SNE cluster separation on CIFAR10)."""
+
+from benchmarks.conftest import BENCH_SCALE, save_result
+from repro.experiments import run_figure5
+
+
+def test_figure5(benchmark, results_dir):
+    result = benchmark.pedantic(
+        run_figure5,
+        kwargs=dict(scale=BENCH_SCALE, n_bits=64, max_points=300),
+        rounds=1,
+        iterations=1,
+    )
+    lines = [result.render(), ""]
+    best = max(result.silhouettes, key=result.silhouettes.get)
+    lines.append(f"-> best-separated code space: {best} (paper: UHSCM)")
+    save_result(results_dir, "figure5", "\n".join(lines))
+    benchmark.extra_info["best_silhouette_method"] = best
+    for method, value in result.silhouettes.items():
+        benchmark.extra_info[f"silhouette_{method}"] = round(value, 4)

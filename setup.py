@@ -1,0 +1,11 @@
+"""Setup shim enabling legacy editable installs in offline environments.
+
+The execution environment has no network access, so PEP 517 build isolation
+(which downloads setuptools/wheel) cannot run.  ``pip install -e .
+--no-build-isolation --no-use-pep517`` uses this shim instead; all project
+metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,14 @@
+"""Analysis tools: k-means, t-SNE, and cluster-separation scoring."""
+
+from repro.analysis.kmeans import KMeansResult, kmeans, kmeans_best_of
+from repro.analysis.separation import class_separation_ratio, silhouette_score
+from repro.analysis.tsne import tsne
+
+__all__ = [
+    "KMeansResult",
+    "class_separation_ratio",
+    "kmeans",
+    "kmeans_best_of",
+    "silhouette_score",
+    "tsne",
+]

@@ -1,0 +1,122 @@
+"""K-means clustering (Lloyd's algorithm with k-means++ seeding).
+
+Used by the ``UHSCM_cN`` ablation variants (Table 2 rows 8–12), which the
+paper builds with "clustering the original randomly selected concepts into n
+clusters by K-means [MacQueen 1967]".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ConvergenceError
+from repro.utils.rng import as_generator
+
+
+@dataclass(frozen=True)
+class KMeansResult:
+    """Clustering outcome: centroids (k, d), hard labels (n,), inertia."""
+
+    centroids: np.ndarray
+    labels: np.ndarray
+    inertia: float
+    n_iter: int
+
+
+def _kmeanspp_init(
+    x: np.ndarray, k: int, rng: np.random.Generator
+) -> np.ndarray:
+    """k-means++ seeding: spread initial centroids by D² sampling."""
+    n = x.shape[0]
+    centroids = np.empty((k, x.shape[1]))
+    centroids[0] = x[rng.integers(n)]
+    closest_sq = ((x - centroids[0]) ** 2).sum(axis=1)
+    for i in range(1, k):
+        total = closest_sq.sum()
+        if total <= 0:  # all points identical to chosen centroids
+            centroids[i:] = centroids[0]
+            break
+        probs = closest_sq / total
+        centroids[i] = x[rng.choice(n, p=probs)]
+        dist_sq = ((x - centroids[i]) ** 2).sum(axis=1)
+        closest_sq = np.minimum(closest_sq, dist_sq)
+    return centroids
+
+
+def kmeans(
+    x: np.ndarray,
+    k: int,
+    max_iter: int = 100,
+    tol: float = 1e-6,
+    seed: int | np.random.Generator | None = 0,
+) -> KMeansResult:
+    """Cluster rows of ``x`` into ``k`` groups.
+
+    Empty clusters are re-seeded with the point farthest from its centroid,
+    so the result always has exactly ``k`` non-degenerate clusters when the
+    data allows it.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim != 2:
+        raise ConfigurationError(f"x must be (n, d), got {x.shape}")
+    n = x.shape[0]
+    if not 1 <= k <= n:
+        raise ConfigurationError(f"k must be in [1, {n}], got {k}")
+    rng = as_generator(seed)
+    centroids = _kmeanspp_init(x, k, rng)
+
+    labels = np.zeros(n, dtype=np.int64)
+    for iteration in range(1, max_iter + 1):
+        # Assignment step.
+        sq_dist = (
+            (x**2).sum(axis=1, keepdims=True)
+            - 2 * x @ centroids.T
+            + (centroids**2).sum(axis=1)
+        )
+        labels = sq_dist.argmin(axis=1)
+        # Update step, re-seeding empty clusters.
+        new_centroids = centroids.copy()
+        for c in range(k):
+            members = x[labels == c]
+            if members.shape[0] > 0:
+                new_centroids[c] = members.mean(axis=0)
+            else:
+                farthest = sq_dist[np.arange(n), labels].argmax()
+                new_centroids[c] = x[farthest]
+        shift = float(np.abs(new_centroids - centroids).max())
+        centroids = new_centroids
+        if shift < tol:
+            break
+    else:
+        iteration = max_iter
+
+    sq_dist = ((x - centroids[labels]) ** 2).sum(axis=1)
+    return KMeansResult(
+        centroids=centroids,
+        labels=labels,
+        inertia=float(sq_dist.sum()),
+        n_iter=iteration,
+    )
+
+
+def kmeans_best_of(
+    x: np.ndarray,
+    k: int,
+    n_init: int = 4,
+    seed: int | np.random.Generator | None = 0,
+    **kwargs,
+) -> KMeansResult:
+    """Run :func:`kmeans` ``n_init`` times and keep the lowest inertia."""
+    if n_init <= 0:
+        raise ConfigurationError(f"n_init must be positive: {n_init}")
+    rng = as_generator(seed)
+    best: KMeansResult | None = None
+    for _ in range(n_init):
+        result = kmeans(x, k, seed=rng, **kwargs)
+        if best is None or result.inertia < best.inertia:
+            best = result
+    if best is None:  # pragma: no cover - unreachable
+        raise ConvergenceError("k-means produced no result")
+    return best

@@ -1,0 +1,108 @@
+"""t-SNE (van der Maaten & Hinton, 2008), implemented from scratch.
+
+Used to reproduce Figure 5 — the 2-D visualization of hash codes on CIFAR10.
+Exact (O(n²)) implementation with perplexity calibration via binary search,
+early exaggeration, and momentum gradient descent; sized for the few
+thousand points the figure uses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.utils.rng import as_generator
+
+_EPS = 1e-12
+
+
+def _pairwise_sq_dists(x: np.ndarray) -> np.ndarray:
+    sq = (x**2).sum(axis=1)
+    d = sq[:, None] - 2 * x @ x.T + sq[None, :]
+    np.fill_diagonal(d, 0.0)
+    return np.maximum(d, 0.0)
+
+
+def _conditional_probs(sq_dists: np.ndarray, perplexity: float,
+                       tol: float = 1e-5, max_iter: int = 50) -> np.ndarray:
+    """Row-wise P(j|i) with per-row bandwidth tuned to hit the perplexity."""
+    n = sq_dists.shape[0]
+    target_entropy = np.log(perplexity)
+    p = np.zeros((n, n))
+    for i in range(n):
+        beta_lo, beta_hi = 0.0, np.inf
+        beta = 1.0
+        row = sq_dists[i].copy()
+        row[i] = np.inf  # exclude self
+        for _ in range(max_iter):
+            logits = -row * beta
+            logits -= logits.max()
+            expd = np.exp(logits)
+            expd[i] = 0.0
+            total = expd.sum()
+            if total <= 0:
+                beta /= 2
+                continue
+            probs = expd / total
+            entropy = -(probs * np.log(np.maximum(probs, _EPS))).sum()
+            diff = entropy - target_entropy
+            if abs(diff) < tol:
+                break
+            if diff > 0:  # entropy too high -> sharpen
+                beta_lo = beta
+                beta = beta * 2 if beta_hi == np.inf else (beta + beta_hi) / 2
+            else:
+                beta_hi = beta
+                beta = beta / 2 if beta_lo == 0.0 else (beta + beta_lo) / 2
+        p[i] = probs
+    return p
+
+
+def tsne(
+    x: np.ndarray,
+    n_components: int = 2,
+    perplexity: float = 30.0,
+    n_iter: int = 300,
+    learning_rate: float = 100.0,
+    early_exaggeration: float = 4.0,
+    exaggeration_iters: int = 60,
+    seed: int | np.random.Generator | None = 0,
+) -> np.ndarray:
+    """Embed rows of ``x`` into ``n_components`` dimensions.
+
+    Returns the (n, n_components) embedding.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim != 2:
+        raise ConfigurationError(f"x must be (n, d), got {x.shape}")
+    n = x.shape[0]
+    if n < 5:
+        raise ConfigurationError(f"t-SNE needs at least 5 points, got {n}")
+    if not 1 < perplexity < n:
+        raise ConfigurationError(
+            f"perplexity must be in (1, {n}), got {perplexity}"
+        )
+    rng = as_generator(seed)
+
+    cond = _conditional_probs(_pairwise_sq_dists(x), perplexity)
+    p = (cond + cond.T) / (2.0 * n)
+    p = np.maximum(p, _EPS)
+
+    y = rng.normal(scale=1e-4, size=(n, n_components))
+    velocity = np.zeros_like(y)
+    momentum = 0.5
+    for iteration in range(n_iter):
+        exaggeration = early_exaggeration if iteration < exaggeration_iters else 1.0
+        if iteration == exaggeration_iters:
+            momentum = 0.8
+        sq = _pairwise_sq_dists(y)
+        inv = 1.0 / (1.0 + sq)
+        np.fill_diagonal(inv, 0.0)
+        q = np.maximum(inv / inv.sum(), _EPS)
+        # Gradient: 4 Σ_j (p_ij - q_ij)(y_i - y_j)(1 + |y_i - y_j|²)^-1
+        coeff = (exaggeration * p - q) * inv
+        grad = 4.0 * ((np.diag(coeff.sum(axis=1)) - coeff) @ y)
+        velocity = momentum * velocity - learning_rate * grad
+        y = y + velocity
+        y = y - y.mean(axis=0)
+    return y

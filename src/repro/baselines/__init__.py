@@ -1,0 +1,34 @@
+"""The nine unsupervised hashing baselines of Table 1 (plus UTH)."""
+
+from repro.baselines.agh import AGH
+from repro.baselines.base import BaseHasher
+from repro.baselines.bgan import BGAN
+from repro.baselines.cib import CIB
+from repro.baselines.deep import DeepHasherBase, masked_pair_loss
+from repro.baselines.gh import GreedyHash
+from repro.baselines.itq import ITQ
+from repro.baselines.lsh import LSH
+from repro.baselines.mls3rduh import MLS3RDUH
+from repro.baselines.registry import BASELINES, EXTRA_BASELINES, make_baseline
+from repro.baselines.sh import SpectralHashing
+from repro.baselines.ssdh import SSDH
+from repro.baselines.uth import UTH
+
+__all__ = [
+    "AGH",
+    "BASELINES",
+    "BGAN",
+    "BaseHasher",
+    "CIB",
+    "DeepHasherBase",
+    "EXTRA_BASELINES",
+    "GreedyHash",
+    "ITQ",
+    "LSH",
+    "MLS3RDUH",
+    "SSDH",
+    "SpectralHashing",
+    "UTH",
+    "make_baseline",
+    "masked_pair_loss",
+]

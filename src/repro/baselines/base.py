@@ -1,0 +1,110 @@
+"""Shared machinery for the unsupervised hashing baselines.
+
+Every baseline follows the paper's "fair comparison" protocol (§4.1): the
+shallow methods consume features from a pretrained backbone and the deep
+methods train a hashing head over the same backbone.  In this reproduction
+the backbone is the simulated pretrained encoder (``SimCLIP.image_features``
+/ ``HashingDataset.features``), injected as a ``feature_extractor`` callable
+so every method sees identical inputs.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.errors import ConfigurationError, NotFittedError
+from repro.utils.mathops import sign
+from repro.utils.rng import as_generator
+
+FeatureExtractor = Callable[[np.ndarray], np.ndarray]
+
+
+class BaseHasher(ABC):
+    """Common fit/encode surface: raw images in, ±1 codes out.
+
+    Subclasses implement ``_fit_features`` / ``_encode_features`` over the
+    extracted feature matrix.
+    """
+
+    #: Human-readable method name used in experiment tables.
+    name: str = "base"
+
+    def __init__(
+        self,
+        n_bits: int,
+        feature_extractor: FeatureExtractor,
+        seed: int | np.random.Generator | None = 0,
+    ) -> None:
+        if n_bits <= 0:
+            raise ConfigurationError(f"n_bits must be positive: {n_bits}")
+        self.n_bits = n_bits
+        self.feature_extractor = feature_extractor
+        self.rng = as_generator(seed)
+        self._fitted = False
+
+    def fit(self, images: np.ndarray) -> "BaseHasher":
+        """Fit the hash function on unlabeled training images."""
+        images = np.asarray(images, dtype=np.float64)
+        self._train_images = images  # kept for guidance extractors
+        features = self.feature_extractor(images)
+        if features.ndim != 2 or features.shape[0] == 0:
+            raise ConfigurationError(
+                f"feature extractor returned shape {features.shape}"
+            )
+        self._fit_features(features)
+        self._fitted = True
+        return self
+
+    def encode(self, images: np.ndarray) -> np.ndarray:
+        """±1 hash codes of shape (n, n_bits)."""
+        if not self._fitted:
+            raise NotFittedError(f"{self.name}: encode called before fit")
+        features = self.feature_extractor(np.asarray(images, dtype=np.float64))
+        codes = self._encode_features(features)
+        return sign(codes)
+
+    @abstractmethod
+    def _fit_features(self, features: np.ndarray) -> None:
+        """Fit on the (n, d) training feature matrix."""
+
+    @abstractmethod
+    def _encode_features(self, features: np.ndarray) -> np.ndarray:
+        """Real-valued code responses; the base class applies ``sign``."""
+
+
+def center_and_scale(
+    features: np.ndarray, mean: np.ndarray | None = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Center features; returns (centered, mean).  Pass the training mean
+    back in at encode time."""
+    features = np.asarray(features, dtype=np.float64)
+    if mean is None:
+        mean = features.mean(axis=0)
+    return features - mean, mean
+
+
+def pca_projection(features: np.ndarray, n_components: int) -> np.ndarray:
+    """Top-``n_components`` PCA directions (d, n_components) of centered data.
+
+    If the feature dimension is smaller than the requested component count,
+    directions are recycled with random rotations, the standard trick used
+    by ITQ/SH implementations for long codes.
+    """
+    n, d = features.shape
+    cov = features.T @ features / max(n - 1, 1)
+    eigvals, eigvecs = np.linalg.eigh(cov)
+    order = np.argsort(eigvals)[::-1]
+    basis = eigvecs[:, order]
+    if n_components <= d:
+        return basis[:, :n_components]
+    # Recycle directions beyond d with deterministic random rotations.
+    reps = int(np.ceil(n_components / d))
+    blocks = [basis]
+    gen = np.random.default_rng(0)
+    for _ in range(reps - 1):
+        q, _ = np.linalg.qr(gen.normal(size=(d, d)))
+        blocks.append(basis @ q)
+    return np.concatenate(blocks, axis=1)[:, :n_components]

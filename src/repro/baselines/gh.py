@@ -1,0 +1,52 @@
+"""GreedyHash (Su et al., NeurIPS 2018) — unsupervised adaptation.
+
+GreedyHash's core idea is to keep the hard ``sign`` in the forward pass and
+propagate gradients straight through it (treating ``d sign(z)/dz = 1``),
+plus a cubic penalty pulling activations toward ±1.  The unsupervised
+variant used as a Table 1 baseline preserves the feature cosine-similarity
+structure of the batch through the *binary* codes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.deep import DeepHasherBase
+from repro.errors import ShapeError
+from repro.utils.mathops import cosine_similarity_matrix, sign
+
+
+class GreedyHash(DeepHasherBase):
+    """Straight-through sign hashing with feature-similarity supervision."""
+
+    name = "GH"
+
+    #: Weight of the cubic quantization penalty |z − sign(z)|³.
+    PENALTY = 0.1
+
+    def _prepare(self, features: np.ndarray) -> None:
+        self._feature_sim = cosine_similarity_matrix(
+            self._guidance_features(features)
+        )
+
+    def _step(self, batch_idx: np.ndarray, batch: np.ndarray) -> float:
+        z = self.net(batch)
+        t = z.shape[0]
+        b = sign(z)  # hard codes in the forward pass
+        target = self._feature_sim[np.ix_(batch_idx, batch_idx)]
+        h = b @ b.T / self.n_bits
+        diff = h - target
+        loss = float((diff**2).mean())
+        # Straight-through: gradient w.r.t. b is used as gradient w.r.t. z.
+        grad_b = (2.0 / (t * t)) * (diff + diff.T) @ b / self.n_bits
+        penalty = np.abs(z - b) ** 3
+        loss += self.PENALTY * float(penalty.mean())
+        grad_pen = (
+            self.PENALTY * 3.0 * np.sign(z - b) * (z - b) ** 2 / z.size
+        )
+        if grad_b.shape != z.shape:
+            raise ShapeError("gradient/activation shape mismatch")
+        self.optimizer.zero_grad()
+        self.net.backward(grad_b + grad_pen)
+        self.optimizer.step()
+        return loss

@@ -1,0 +1,27 @@
+"""Locality-Sensitive Hashing (Gionis et al., VLDB 1999).
+
+Random signed hyperplane projections — the data-independent floor every
+learned method should beat (Table 1's weakest row).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import BaseHasher, center_and_scale
+
+
+class LSH(BaseHasher):
+    """Random-hyperplane LSH over backbone features."""
+
+    name = "LSH"
+
+    def _fit_features(self, features: np.ndarray) -> None:
+        _, self._mean = center_and_scale(features)
+        self._projection = self.rng.normal(
+            size=(features.shape[1], self.n_bits)
+        )
+
+    def _encode_features(self, features: np.ndarray) -> np.ndarray:
+        centered, _ = center_and_scale(features, self._mean)
+        return centered @ self._projection

@@ -1,0 +1,80 @@
+"""Baseline registry: Table 1's method list in paper order.
+
+The registry maps method names to factories taking
+``(n_bits, feature_extractor, seed)`` so the experiment runners can sweep
+all methods uniformly.  UHSCM itself lives in :mod:`repro.core`; the Table 1
+runner adds it on top of these nine baselines.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.baselines.agh import AGH
+from repro.baselines.base import BaseHasher, FeatureExtractor
+from repro.baselines.bgan import BGAN
+from repro.baselines.cib import CIB
+from repro.baselines.gh import GreedyHash
+from repro.baselines.itq import ITQ
+from repro.baselines.lsh import LSH
+from repro.baselines.mls3rduh import MLS3RDUH
+from repro.baselines.sh import SpectralHashing
+from repro.baselines.ssdh import SSDH
+from repro.baselines.uth import UTH
+from repro.errors import ConfigurationError
+
+BaselineFactory = Callable[..., BaseHasher]
+
+#: Table 1 row order: four shallow methods, then the deep ones.
+BASELINES: dict[str, BaselineFactory] = {
+    "LSH": LSH,
+    "SH": SpectralHashing,
+    "ITQ": ITQ,
+    "AGH": AGH,
+    "SSDH": SSDH,
+    "GH": GreedyHash,
+    "BGAN": BGAN,
+    "MLS3RDUH": MLS3RDUH,
+    "CIB": CIB,
+}
+
+#: The additional baseline evaluated only in some comparisons (§4.1 mentions
+#: UTH among the deep baselines).
+EXTRA_BASELINES: dict[str, BaselineFactory] = {
+    "UTH": UTH,
+}
+
+
+def make_baseline(
+    name: str,
+    n_bits: int,
+    feature_extractor: FeatureExtractor,
+    seed: int = 0,
+    guidance_extractor: FeatureExtractor | None = None,
+    augment_fn=None,
+    **kwargs,
+) -> BaseHasher:
+    """Instantiate a baseline by Table 1 name.
+
+    ``feature_extractor`` feeds the method's inputs; ``guidance_extractor``
+    (deep methods only) feeds its self-supervision signal — the §4.1 "fair
+    comparison" splits these into trainable-backbone vs. pretrained-VGG
+    features.  ``augment_fn`` reaches the view-contrastive methods (CIB).
+    """
+    from repro.baselines.cib import CIB as _CIB
+    from repro.baselines.deep import DeepHasherBase as _Deep
+
+    registry = {**BASELINES, **EXTRA_BASELINES}
+    key = name.strip().upper()
+    aliases = {"MLS3RDUH": "MLS3RDUH", "GREEDYHASH": "GH"}
+    key = aliases.get(key, key)
+    if key not in registry:
+        raise ConfigurationError(
+            f"unknown baseline {name!r}; options: {sorted(registry)}"
+        )
+    cls = registry[key]
+    if issubclass(cls, _Deep):
+        kwargs.setdefault("guidance_extractor", guidance_extractor)
+    if issubclass(cls, _CIB):
+        kwargs.setdefault("augment_fn", augment_fn)
+    return cls(n_bits, feature_extractor, seed=seed, **kwargs)

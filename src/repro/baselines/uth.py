@@ -1,0 +1,73 @@
+"""Unsupervised Triplet Hashing (Huang et al., ACM MM Workshops 2017).
+
+Triplets are mined from the backbone feature space: the positive of an
+anchor is one of its nearest neighbours, the negative a random sample from
+the farthest half.  The hash head minimizes a margin ranking loss on relaxed
+Hamming distances so neighbours stay close in code space.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.deep import DeepHasherBase
+from repro.core.losses import cosine_backward, pairwise_cosine
+from repro.utils.mathops import cosine_similarity_matrix
+
+
+class UTH(DeepHasherBase):
+    """Feature-space triplet mining + margin ranking hashing loss."""
+
+    name = "UTH"
+
+    #: Number of nearest neighbours eligible as positives.
+    N_POSITIVE = 5
+    #: Margin of the triplet ranking loss (in cosine-similarity units).
+    MARGIN = 0.4
+
+    def _prepare(self, features: np.ndarray) -> None:
+        sim = cosine_similarity_matrix(self._guidance_features(features))
+        np.fill_diagonal(sim, -np.inf)
+        n = features.shape[0]
+        k = min(self.N_POSITIVE, n - 1)
+        self._positives = np.argsort(-sim, axis=1)[:, :k]
+        # Negative pool: the farthest half of the training set per anchor.
+        half = max(n // 2, 1)
+        self._negatives = np.argsort(sim, axis=1)[:, :half]
+
+    def _step(self, batch_idx: np.ndarray, batch: np.ndarray) -> float:
+        # Build triplets inside the batch: map global ids to batch slots.
+        slot = {g: i for i, g in enumerate(batch_idx)}
+        anchors, positives, negatives = [], [], []
+        for i, g in enumerate(batch_idx):
+            pos_candidates = [p for p in self._positives[g] if p in slot]
+            neg_candidates = [q for q in self._negatives[g] if q in slot]
+            if not pos_candidates or not neg_candidates:
+                continue
+            anchors.append(i)
+            positives.append(slot[pos_candidates[0]])
+            negatives.append(slot[neg_candidates[
+                int(self.rng.integers(len(neg_candidates)))]])
+        z = self.net(batch)
+        if not anchors:
+            return 0.0
+        h, z_hat, norms = pairwise_cosine(z)
+        a = np.asarray(anchors)
+        p = np.asarray(positives)
+        q = np.asarray(negatives)
+        # hinge on similarity: want h[a,p] >= h[a,q] + margin.
+        violation = self.MARGIN + h[a, q] - h[a, p]
+        active = violation > 0
+        loss = float(np.maximum(violation, 0).mean())
+        grad_h = np.zeros_like(h)
+        scale = 1.0 / max(len(anchors), 1)
+        for ai, pi, qi, act in zip(a, p, q, active):
+            if not act:
+                continue
+            grad_h[ai, pi] -= scale / 2  # symmetrized below via backward
+            grad_h[ai, qi] += scale / 2
+        grad_z = cosine_backward(z_hat, norms, grad_h)
+        self.optimizer.zero_grad()
+        self.net.backward(grad_z)
+        self.optimizer.step()
+        return loss

@@ -1,0 +1,130 @@
+"""Command-line interface for the reproduction.
+
+Subcommands::
+
+    python -m repro.cli train   --dataset cifar10 --bits 64 --out model.npz
+    python -m repro.cli eval    --dataset cifar10 --model model.npz
+    python -m repro.cli table1  --scale 0.03 --bits 32 64
+    python -m repro.cli table2  --scale 0.03
+    python -m repro.cli export  --results benchmarks/results --out EXPERIMENTS.md
+
+All commands run fully offline on the simulated substrate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.config import PAPER_BIT_LENGTHS, paper_config
+from repro.datasets import DATASET_NAMES, load_dataset
+from repro.vlp import SimCLIP
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--dataset", choices=DATASET_NAMES, default="cifar10")
+    parser.add_argument("--scale", type=float, default=0.04,
+                        help="fraction of the paper's split sizes")
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    from repro.core.persistence import save_uhscm
+    from repro.core.uhscm import UHSCM
+
+    data = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    clip = SimCLIP(data.world)
+    model = UHSCM(paper_config(args.dataset, n_bits=args.bits,
+                               seed=args.seed), clip=clip)
+    model.fit(data.train_images)
+    print(f"trained UHSCM ({args.bits} bits) on {args.dataset}; "
+          f"kept {len(model.mined_concepts)} concepts")
+    if args.out:
+        save_uhscm(model, args.out)
+        print(f"saved model to {args.out}")
+    from repro.retrieval import evaluate_hashing
+
+    print(evaluate_hashing(model, data))
+    return 0
+
+
+def _cmd_eval(args: argparse.Namespace) -> int:
+    from repro.core.persistence import load_uhscm
+    from repro.retrieval import evaluate_hashing
+
+    data = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    clip = SimCLIP(data.world)
+    model = load_uhscm(args.model, clip)
+    print(evaluate_hashing(model, data))
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    from repro.experiments import run_table1
+
+    table = run_table1(scale=args.scale, bit_lengths=tuple(args.bits),
+                       datasets=(args.dataset,), seed=args.seed)
+    print(table.render())
+    return 0
+
+
+def _cmd_table2(args: argparse.Namespace) -> int:
+    from repro.experiments import run_table2
+
+    table = run_table2(scale=args.scale, bit_lengths=tuple(args.bits),
+                       datasets=(args.dataset,), seed=args.seed)
+    print(table.render())
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from repro.experiments.export import write_experiments_md
+
+    write_experiments_md(args.results, args.out)
+    print(f"wrote {args.out}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro",
+                                     description=__doc__.splitlines()[0])
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_train = sub.add_parser("train", help="train UHSCM on one dataset")
+    _add_common(p_train)
+    p_train.add_argument("--bits", type=int, default=64)
+    p_train.add_argument("--out", default=None, help="save model here (.npz)")
+    p_train.set_defaults(func=_cmd_train)
+
+    p_eval = sub.add_parser("eval", help="evaluate a saved model")
+    _add_common(p_eval)
+    p_eval.add_argument("--model", required=True)
+    p_eval.set_defaults(func=_cmd_eval)
+
+    p_t1 = sub.add_parser("table1", help="regenerate Table 1")
+    _add_common(p_t1)
+    p_t1.add_argument("--bits", type=int, nargs="+",
+                      default=list(PAPER_BIT_LENGTHS))
+    p_t1.set_defaults(func=_cmd_table1)
+
+    p_t2 = sub.add_parser("table2", help="regenerate Table 2 (ablations)")
+    _add_common(p_t2)
+    p_t2.add_argument("--bits", type=int, nargs="+", default=[32, 64])
+    p_t2.set_defaults(func=_cmd_table2)
+
+    p_exp = sub.add_parser("export", help="assemble EXPERIMENTS.md")
+    p_exp.add_argument("--results", default="benchmarks/results")
+    p_exp.add_argument("--out", default="EXPERIMENTS.md")
+    p_exp.set_defaults(func=_cmd_export)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,156 @@
+"""Experiment configuration objects.
+
+:class:`UHSCMConfig` collects every hyper-parameter named in the paper
+(Sections 3.4, 4.1 and 4.6) with the per-dataset defaults the authors selected
+after their sensitivity study:
+
+=============  =====  =====  =====  =====  ======
+dataset        α      λ      γ      β      τ
+=============  =====  =====  =====  =====  ======
+CIFAR10        0.2    0.8    0.2    0.001  3·m
+NUS-WIDE       0.1    0.5    0.2    0.001  3·m
+MIRFlickr-25K  0.3    0.6    0.5    0.001  3·m
+=============  =====  =====  =====  =====  ======
+
+where ``m`` is the number of candidate concepts (τ is stored as the
+multiplier ``tau_scale`` so it tracks the concept count automatically).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.errors import ConfigurationError
+
+#: Hash-code lengths evaluated throughout the paper.
+PAPER_BIT_LENGTHS: tuple[int, ...] = (32, 64, 96, 128)
+
+#: Default prompt template (paper §3.3.1 / ablation 4.4.3 row "Ours").
+DEFAULT_PROMPT_TEMPLATE = "a photo of the {concept}"
+
+
+@dataclass(frozen=True)
+class TrainConfig:
+    """Optimization settings for the hashing network (paper §4.1).
+
+    The paper uses SGD with momentum 0.9, fixed lr 0.006, batch size 128 and
+    weight decay 1e-5.  ``epochs`` is scale-dependent; the paper trains to
+    convergence, the reproduction default is sized for CPU runs.
+    """
+
+    learning_rate: float = 0.006
+    momentum: float = 0.9
+    weight_decay: float = 1e-5
+    batch_size: int = 128
+    epochs: int = 60
+
+    def __post_init__(self) -> None:
+        if self.learning_rate <= 0:
+            raise ConfigurationError(f"learning_rate must be > 0: {self.learning_rate}")
+        if not 0 <= self.momentum < 1:
+            raise ConfigurationError(f"momentum must be in [0, 1): {self.momentum}")
+        if self.weight_decay < 0:
+            raise ConfigurationError(f"weight_decay must be >= 0: {self.weight_decay}")
+        if self.batch_size <= 0 or self.epochs <= 0:
+            raise ConfigurationError("batch_size and epochs must be positive")
+
+
+@dataclass(frozen=True)
+class UHSCMConfig:
+    """Full UHSCM hyper-parameter set (Eq. 2, Eq. 5, Eq. 11).
+
+    Attributes
+    ----------
+    n_bits:
+        Hash-code length ``k``.
+    alpha:
+        Weight of the modified contrastive loss ``L_c`` in Eq. 11.
+    beta:
+        Weight of the quantization loss in Eq. 11.
+    gamma:
+        Contrastive temperature in Eq. 8.
+    lam:
+        Similarity threshold λ defining the positive set Ψ_i = {j | q_ij >= λ}.
+    tau_scale:
+        τ = ``tau_scale · m`` where ``m`` is the candidate-concept count.
+        The paper reports both τ = 1m and τ = 3m as optimal (§4.6) and
+        selects 3m; this reproduction's score distribution peaks at 1m
+        (EXPERIMENTS.md, Figure 4a), so 1m is the default here.
+    denoise:
+        Apply the Eq. 4–5 concept-denoising step (ablation row 7 turns
+        this off).
+    prompt_template:
+        Template used to turn a concept into text for the VLP model.
+    train:
+        Optimization settings.
+    seed:
+        Master seed controlling network init and batch sampling.
+    """
+
+    n_bits: int = 64
+    alpha: float = 0.2
+    beta: float = 0.001
+    gamma: float = 0.2
+    lam: float = 0.8
+    tau_scale: float = 1.0
+    denoise: bool = True
+    prompt_template: str = DEFAULT_PROMPT_TEMPLATE
+    train: TrainConfig = field(default_factory=TrainConfig)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_bits <= 0:
+            raise ConfigurationError(f"n_bits must be positive: {self.n_bits}")
+        if self.alpha < 0 or self.beta < 0:
+            raise ConfigurationError("alpha and beta must be >= 0")
+        if self.gamma <= 0:
+            raise ConfigurationError(f"gamma must be > 0: {self.gamma}")
+        if not 0 <= self.lam <= 1:
+            raise ConfigurationError(f"lam must be in [0, 1]: {self.lam}")
+        if self.tau_scale <= 0:
+            raise ConfigurationError(f"tau_scale must be > 0: {self.tau_scale}")
+        if "{concept}" not in self.prompt_template:
+            raise ConfigurationError(
+                "prompt_template must contain a '{concept}' placeholder: "
+                f"{self.prompt_template!r}"
+            )
+
+    def with_bits(self, n_bits: int) -> "UHSCMConfig":
+        """Copy of this config at a different code length."""
+        return replace(self, n_bits=n_bits)
+
+    def tau(self, n_concepts: int) -> float:
+        """Concrete softmax temperature τ for an ``n_concepts`` vocabulary."""
+        if n_concepts <= 0:
+            raise ConfigurationError(f"n_concepts must be positive: {n_concepts}")
+        return self.tau_scale * n_concepts
+
+
+def paper_config(dataset: str, n_bits: int = 64, seed: int = 0) -> UHSCMConfig:
+    """Per-dataset hyper-parameters, re-validated the way paper §4.6 does.
+
+    The paper selects (α, λ, γ, β) per dataset by sweeping each around its
+    optimum; this reproduction repeats that sweep on the simulated data
+    (see ``benchmarks/bench_figure4.py``).  CIFAR10 lands on the paper's
+    exact values; the multi-label optima shift slightly (smaller γ, λ = 0.5)
+    because the simulated score distribution is not identical to real
+    CLIP's — EXPERIMENTS.md records the deltas.
+    """
+    presets = {
+        "cifar10": dict(alpha=0.2, lam=0.8, gamma=0.2, beta=0.001),
+        "nuswide": dict(alpha=0.2, lam=0.5, gamma=0.15, beta=0.001),
+        "mirflickr": dict(alpha=0.3, lam=0.5, gamma=0.1, beta=0.001),
+    }
+    key = dataset.lower().replace("-", "").replace("_", "")
+    aliases = {
+        "cifar10": "cifar10",
+        "cifar": "cifar10",
+        "nuswide": "nuswide",
+        "mirflickr": "mirflickr",
+        "mirflickr25k": "mirflickr",
+    }
+    if key not in aliases:
+        raise ConfigurationError(
+            f"unknown dataset {dataset!r}; expected one of {sorted(set(aliases))}"
+        )
+    return UHSCMConfig(n_bits=n_bits, seed=seed, **presets[aliases[key]])

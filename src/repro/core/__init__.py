@@ -1,0 +1,58 @@
+"""The paper's primary contribution: UHSCM and its components."""
+
+from repro.core.denoising import (
+    DenoisingResult,
+    concept_frequencies,
+    denoise_concepts,
+    keep_mask,
+)
+from repro.core.hashing_network import HashingNetwork
+from repro.core.losses import (
+    LossBreakdown,
+    cib_contrastive_loss,
+    modified_contrastive_loss,
+    quantization_loss,
+    similarity_preserving_loss,
+    uhscm_objective,
+)
+from repro.core.mining import ConceptMiner, concept_distributions
+from repro.core.persistence import load_uhscm, save_uhscm
+from repro.core.similarity import (
+    ClusteredConceptSimilarityGenerator,
+    ImageFeatureSimilarityGenerator,
+    SemanticSimilarityGenerator,
+    SimilarityResult,
+    similarity_from_distributions,
+)
+from repro.core.trainer import TrainHistory, UHSCMTrainer
+from repro.core.uhscm import UHSCM
+from repro.core.variants import VARIANTS, get_variant, make_uhscm
+
+__all__ = [
+    "ClusteredConceptSimilarityGenerator",
+    "ConceptMiner",
+    "DenoisingResult",
+    "HashingNetwork",
+    "ImageFeatureSimilarityGenerator",
+    "LossBreakdown",
+    "SemanticSimilarityGenerator",
+    "SimilarityResult",
+    "TrainHistory",
+    "UHSCM",
+    "UHSCMTrainer",
+    "VARIANTS",
+    "cib_contrastive_loss",
+    "concept_distributions",
+    "concept_frequencies",
+    "denoise_concepts",
+    "get_variant",
+    "keep_mask",
+    "load_uhscm",
+    "make_uhscm",
+    "save_uhscm",
+    "modified_contrastive_loss",
+    "quantization_loss",
+    "similarity_from_distributions",
+    "similarity_preserving_loss",
+    "uhscm_objective",
+]

@@ -1,0 +1,96 @@
+"""Semantic concept denoising (paper §3.3.2, Eq. 4–5).
+
+A concept's *frequency* f(c_i) is the number of training images whose mined
+distribution puts c_i first (Eq. 4).  A concept is discarded (Eq. 5) when
+
+- ``f(c_i) > 0.5 n``   — it dominates more than half the corpus, so it cannot
+  distinguish images (the big-sky failure mode), or
+- ``f(c_i) < 0.5 n/m`` — it wins for almost nothing, so it probably is not in
+  the dataset at all and only injects VLP misjudgement noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def concept_frequencies(distributions: np.ndarray) -> np.ndarray:
+    """Eq. 4: argmax-win counts per concept, shape (m,)."""
+    dist = np.asarray(distributions, dtype=np.float64)
+    if dist.ndim != 2:
+        raise ConfigurationError(
+            f"distributions must be (n, m), got {dist.shape}"
+        )
+    winners = dist.argmax(axis=1)
+    return np.bincount(winners, minlength=dist.shape[1]).astype(np.int64)
+
+
+def keep_mask(frequencies: np.ndarray, n_images: int) -> np.ndarray:
+    """Eq. 5: boolean mask of concepts to keep.
+
+    Keeps c_i iff ``0.5 n/m <= f(c_i) <= 0.5 n``.
+    """
+    freq = np.asarray(frequencies, dtype=np.float64)
+    if freq.ndim != 1:
+        raise ConfigurationError(f"frequencies must be 1-D, got {freq.shape}")
+    if n_images <= 0:
+        raise ConfigurationError(f"n_images must be positive: {n_images}")
+    m = freq.size
+    lower = 0.5 * n_images / m
+    upper = 0.5 * n_images
+    return (freq >= lower) & (freq <= upper)
+
+
+@dataclass(frozen=True)
+class DenoisingResult:
+    """Outcome of one denoising pass over a candidate concept set."""
+
+    original_concepts: tuple[str, ...]
+    kept_mask: np.ndarray
+    frequencies: np.ndarray
+
+    @property
+    def kept_concepts(self) -> tuple[str, ...]:
+        return tuple(
+            c for c, keep in zip(self.original_concepts, self.kept_mask) if keep
+        )
+
+    @property
+    def discarded_concepts(self) -> tuple[str, ...]:
+        return tuple(
+            c for c, keep in zip(self.original_concepts, self.kept_mask) if not keep
+        )
+
+    @property
+    def n_kept(self) -> int:
+        return int(self.kept_mask.sum())
+
+
+def denoise_concepts(
+    concepts: list[str] | tuple[str, ...],
+    distributions: np.ndarray,
+) -> DenoisingResult:
+    """Apply Eq. 4–5 and return the retained concept subset C'.
+
+    If the filter would discard everything (pathological tiny inputs), the
+    original set is kept unchanged — an empty concept set would make Eq. 6
+    undefined.
+    """
+    concepts = tuple(concepts)
+    dist = np.asarray(distributions, dtype=np.float64)
+    if dist.shape[1] != len(concepts):
+        raise ConfigurationError(
+            f"distributions have {dist.shape[1]} columns for "
+            f"{len(concepts)} concepts"
+        )
+    freq = concept_frequencies(dist)
+    mask = keep_mask(freq, n_images=dist.shape[0])
+    if not mask.any():
+        mask = np.ones(len(concepts), dtype=bool)
+    return DenoisingResult(
+        original_concepts=concepts, kept_mask=mask, frequencies=freq
+    )

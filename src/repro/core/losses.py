@@ -1,0 +1,238 @@
+"""UHSCM hashing losses (paper §3.4, Eq. 7–11) with analytic gradients.
+
+Every function takes the batch's relaxed codes ``z`` (the tanh outputs of
+the hashing network, shape (t, k)) plus the batch sub-block of the semantic
+similarity matrix ``q`` and returns ``(loss_value, grad_wrt_z)`` so the
+trainer can feed the gradient straight into ``network.backward``.
+
+Notation: ``ĥ_ij = cos(z_i, z_j)`` is the relaxed Hamming similarity of
+Eq. 11; the binary ``b_i = sign(z_i)``.
+
+One deliberate correction to the paper's formulas: Eq. 8 (and the quoted
+CIB loss Eq. 10) are printed *without* the ``-log`` of a standard InfoNCE
+objective — minimizing them exactly as printed would push positive pairs
+*apart*.  The surrounding text ("the Hamming similarity between b_i and b_j
+will be larger than ...") describes the standard contrastive behaviour, so
+this implementation uses the conventional ``-log`` form.  DESIGN.md records
+the discrepancy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.utils.mathops import sign
+
+_EPS = 1e-12
+
+
+def _check_z(z: np.ndarray) -> np.ndarray:
+    z = np.asarray(z, dtype=np.float64)
+    if z.ndim != 2:
+        raise ShapeError(f"codes must be (t, k), got {z.shape}")
+    return z
+
+
+def _check_q(q: np.ndarray, t: int) -> np.ndarray:
+    q = np.asarray(q, dtype=np.float64)
+    if q.shape != (t, t):
+        raise ShapeError(f"q must be ({t}, {t}), got {q.shape}")
+    return q
+
+
+def _normalize_rows(z: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    norms = np.maximum(np.linalg.norm(z, axis=1, keepdims=True), _EPS)
+    return z / norms, norms
+
+
+def pairwise_cosine(z: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Relaxed Hamming similarity ``ĥ = Ẑ Ẑᵀ`` plus the pieces its gradient
+    needs; returns ``(h, z_hat, norms)``.  Shared by the deep baselines."""
+    z = _check_z(z)
+    z_hat, norms = _normalize_rows(z)
+    return z_hat @ z_hat.T, z_hat, norms
+
+
+def cosine_backward(
+    z_hat: np.ndarray, norms: np.ndarray, grad_h: np.ndarray
+) -> np.ndarray:
+    """Public alias of the ``dL/dĥ -> dL/dz`` backward used by every loss."""
+    return _cosine_grad_to_z(z_hat, norms, grad_h)
+
+
+def _cosine_grad_to_z(
+    z_hat: np.ndarray, norms: np.ndarray, grad_h: np.ndarray
+) -> np.ndarray:
+    """Backprop ``dL/dĥ`` (t, t) through ``ĥ = Ẑ Ẑᵀ`` and row normalization.
+
+    ``dL/dẐ = (G + Gᵀ) Ẑ`` and the normalization Jacobian projects out the
+    radial component: ``dL/dz_i = (g_i - (g_i·ẑ_i) ẑ_i) / ||z_i||``.
+    """
+    g_zhat = (grad_h + grad_h.T) @ z_hat
+    radial = (g_zhat * z_hat).sum(axis=1, keepdims=True)
+    return (g_zhat - radial * z_hat) / norms
+
+
+def similarity_preserving_loss(
+    z: np.ndarray, q: np.ndarray
+) -> tuple[float, np.ndarray]:
+    """Eq. 7 (relaxed per Eq. 11): ``L_s = (1/t²) Σ_ij (ĥ_ij − q_ij)²``."""
+    z = _check_z(z)
+    t = z.shape[0]
+    q = _check_q(q, t)
+    z_hat, norms = _normalize_rows(z)
+    h = z_hat @ z_hat.T
+    diff = h - q
+    loss = float((diff**2).mean())
+    grad_h = 2.0 * diff / (t * t)
+    return loss, _cosine_grad_to_z(z_hat, norms, grad_h)
+
+
+def modified_contrastive_loss(
+    z: np.ndarray,
+    q: np.ndarray,
+    lam: float,
+    gamma: float,
+) -> tuple[float, np.ndarray]:
+    """Eq. 8 (−log form): similarity-mined contrastive regularizer ``L_c``.
+
+    Positives of image i are Ψ_i = {j ≠ i | q_ij >= λ}; negatives are the
+    rest of the batch Φ_i.  For each positive pair:
+
+        ℓ_ij = −log [ e^{ĥ_ij/γ} / (e^{ĥ_ij/γ} + Σ_{l∈Φ_i} e^{ĥ_il/γ}) ]
+
+    and ``L_c`` averages ℓ over positives (1/|Ψ_i|) and images (1/t).
+    Images with empty Ψ_i or empty Φ_i contribute nothing.
+    """
+    z = _check_z(z)
+    t = z.shape[0]
+    q = _check_q(q, t)
+    if gamma <= 0:
+        raise ShapeError(f"gamma must be positive: {gamma}")
+    z_hat, norms = _normalize_rows(z)
+    h = z_hat @ z_hat.T
+
+    off_diag = ~np.eye(t, dtype=bool)
+    pos_mask = (q >= lam) & off_diag
+    neg_mask = (q < lam) & off_diag
+
+    exp_h = np.exp((h - h.max()) / gamma)  # shared shift cancels in ratios
+    neg_sum = (exp_h * neg_mask).sum(axis=1)  # Σ_{l∈Φ_i} e^{ĥ_il/γ}
+
+    loss = 0.0
+    grad_h = np.zeros_like(h)
+    active_images = 0
+    for i in range(t):
+        pos_idx = np.flatnonzero(pos_mask[i])
+        if pos_idx.size == 0 or neg_sum[i] <= 0:
+            continue
+        active_images += 1
+        a = exp_h[i, pos_idx]
+        denom = a + neg_sum[i]
+        r = a / denom
+        loss += float(-np.log(np.maximum(r, _EPS)).mean())
+        w = 1.0 / pos_idx.size
+        # d(−log r)/dĥ_ij = (r − 1)/γ for the positive j;
+        # d(−log r)/dĥ_il = e^{ĥ_il/γ}/denom/γ for each negative l.
+        grad_h[i, pos_idx] += w * (r - 1.0) / gamma
+        neg_idx = np.flatnonzero(neg_mask[i])
+        contrib = (w / gamma) * (1.0 / denom).sum() * exp_h[i, neg_idx]
+        grad_h[i, neg_idx] += contrib
+
+    if active_images == 0:
+        return 0.0, np.zeros_like(z)
+    loss /= t
+    grad_h /= t
+    return loss, _cosine_grad_to_z(z_hat, norms, grad_h)
+
+
+def quantization_loss(z: np.ndarray) -> tuple[float, np.ndarray]:
+    """Eq. 11's β-term: ``(1/t) Σ_i ||z_i − b_i||²`` with ``b_i = sign(z_i)``."""
+    z = _check_z(z)
+    t = z.shape[0]
+    b = sign(z)
+    diff = z - b
+    loss = float((diff**2).sum() / t)
+    return loss, 2.0 * diff / t
+
+
+def cib_contrastive_loss(
+    z1: np.ndarray,
+    z2: np.ndarray,
+    gamma: float,
+) -> tuple[float, np.ndarray, np.ndarray]:
+    """Eq. 10 (−log form): CIB's view-based contrastive loss ``J_c``.
+
+    ``z1``/``z2`` are codes of two augmented views of the same batch.  The
+    positive of view-1 code i is view-2 code i; negatives are all other
+    codes of both views.  Used by the ``UHSCM_CL`` ablation (Table 2 row 14)
+    and the CIB baseline.  Returns ``(loss, grad_z1, grad_z2)``.
+    """
+    z1 = _check_z(z1)
+    z2 = _check_z(z2)
+    if z1.shape != z2.shape:
+        raise ShapeError(f"view shapes differ: {z1.shape} vs {z2.shape}")
+    if gamma <= 0:
+        raise ShapeError(f"gamma must be positive: {gamma}")
+    t = z1.shape[0]
+    z = np.concatenate([z1, z2], axis=0)  # (2t, k)
+    z_hat, norms = _normalize_rows(z)
+    h = z_hat @ z_hat.T  # (2t, 2t)
+
+    exp_h = np.exp((h - h.max()) / gamma)
+    np.fill_diagonal(exp_h, 0.0)  # a code is never its own negative
+
+    loss = 0.0
+    grad_h = np.zeros_like(h)
+    for i in range(t):
+        j = i + t  # the positive pair (view1_i, view2_i)
+        for anchor, positive in ((i, j), (j, i)):
+            denom = exp_h[anchor].sum()
+            r = exp_h[anchor, positive] / np.maximum(denom, _EPS)
+            loss += float(-np.log(np.maximum(r, _EPS)))
+            grad_h[anchor, positive] += (r - 1.0) / gamma
+            others = np.flatnonzero(
+                (np.arange(2 * t) != anchor) & (np.arange(2 * t) != positive)
+            )
+            grad_h[anchor, others] += exp_h[anchor, others] / denom / gamma
+    loss /= 2 * t
+    grad_h /= 2 * t
+    grad_z = _cosine_grad_to_z(z_hat, norms, grad_h)
+    return loss, grad_z[:t], grad_z[t:]
+
+
+@dataclass(frozen=True)
+class LossBreakdown:
+    """Per-term values of the Eq. 11 objective for one batch."""
+
+    total: float
+    similarity: float
+    contrastive: float
+    quantization: float
+
+
+def uhscm_objective(
+    z: np.ndarray,
+    q: np.ndarray,
+    alpha: float,
+    beta: float,
+    gamma: float,
+    lam: float,
+) -> tuple[LossBreakdown, np.ndarray]:
+    """Full Eq. 11: ``L = L_s + β·L_quant + α·L_c``; returns grad wrt z."""
+    ls, grad_s = similarity_preserving_loss(z, q)
+    lc, grad_c = (0.0, np.zeros_like(np.asarray(z, dtype=np.float64)))
+    if alpha > 0:
+        lc, grad_c = modified_contrastive_loss(z, q, lam=lam, gamma=gamma)
+    lq, grad_q = quantization_loss(z)
+    total = ls + alpha * lc + beta * lq
+    grad = grad_s + alpha * grad_c + beta * grad_q
+    return (
+        LossBreakdown(
+            total=total, similarity=ls, contrastive=lc, quantization=lq
+        ),
+        grad,
+    )

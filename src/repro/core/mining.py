@@ -1,0 +1,72 @@
+"""Semantic concept mining (paper §3.3.1, Eq. 1–2).
+
+Given training images and a candidate concept set, score every (image,
+concept) pair with the VLP model under a prompt template (Eq. 1), then turn
+each image's score vector into a *concept distribution* with a temperature
+softmax (Eq. 2):
+
+    d_ij = exp(τ s_ij) / Σ_k exp(τ s_ik)
+
+The paper's τ is a multiplier proportional to the concept count (best value
+τ = 3m, §4.6).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.utils.mathops import softmax
+from repro.vlp.clip import SimCLIP
+from repro.vlp.prompts import PromptTemplate
+
+
+def concept_distributions(scores: np.ndarray, tau: float) -> np.ndarray:
+    """Eq. 2: row-wise temperature softmax of an (n, m) score matrix."""
+    scores = np.asarray(scores, dtype=np.float64)
+    if scores.ndim != 2:
+        raise ConfigurationError(f"scores must be (n, m), got {scores.shape}")
+    if tau <= 0:
+        raise ConfigurationError(f"tau must be positive: {tau}")
+    return softmax(scores, temperature=tau, axis=1)
+
+
+class ConceptMiner:
+    """Mines per-image concept distributions through a VLP model.
+
+    Parameters
+    ----------
+    clip:
+        The (simulated) VLP model.
+    template:
+        Prompt template used to textualize concepts.
+    tau_scale:
+        τ = tau_scale · m (the paper reports 1m and 3m as the best values).
+    """
+
+    def __init__(
+        self,
+        clip: SimCLIP,
+        template: PromptTemplate | str | None = None,
+        tau_scale: float = 1.0,
+    ) -> None:
+        if tau_scale <= 0:
+            raise ConfigurationError(f"tau_scale must be positive: {tau_scale}")
+        self.clip = clip
+        self.template = template
+        self.tau_scale = tau_scale
+
+    def scores(
+        self, images: np.ndarray, concepts: list[str] | tuple[str, ...]
+    ) -> np.ndarray:
+        """Eq. 1: raw (n, m) VLP image-concept scores in [0, 1]."""
+        return self.clip.score_concepts(images, concepts, template=self.template)
+
+    def mine(
+        self, images: np.ndarray, concepts: list[str] | tuple[str, ...]
+    ) -> np.ndarray:
+        """Eq. 1 + Eq. 2: concept distributions D, shape (n, m)."""
+        if not concepts:
+            raise ConfigurationError("cannot mine over an empty concept set")
+        tau = self.tau_scale * len(concepts)
+        return concept_distributions(self.scores(images, concepts), tau)

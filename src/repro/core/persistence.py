@@ -1,0 +1,109 @@
+"""Save / load fitted hashing models.
+
+A fitted UHSCM (or any feature-mode hashing network) is fully described by
+its configuration, the mined concept set, and the network parameters; this
+module serializes all three to a single ``.npz`` archive so a trained model
+can be shipped and served without retraining.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+
+import numpy as np
+
+from repro.config import TrainConfig, UHSCMConfig
+from repro.core.uhscm import UHSCM
+from repro.errors import ConfigurationError, NotFittedError
+from repro.vlp.clip import SimCLIP
+
+_FORMAT_VERSION = 1
+
+
+def save_uhscm(model: UHSCM, path: str | Path) -> Path:
+    """Serialize a fitted UHSCM model to ``path`` (.npz archive)."""
+    if model.network is None:
+        raise NotFittedError("cannot save an unfitted UHSCM model")
+    path = Path(path)
+    config = asdict(model.config)
+    meta = {
+        "format_version": _FORMAT_VERSION,
+        "config": config,
+        "concepts": list(model.concepts),
+        "mined_concepts": list(model.mined_concepts)
+        if model.similarity_ is not None
+        else [],
+        "network_mode": model.network_mode,
+        "world_seed": model.clip.world.config.seed,
+    }
+    state = model.network.net.state_dict()
+    np.savez(
+        path,
+        __meta__=np.frombuffer(
+            json.dumps(meta).encode("utf-8"), dtype=np.uint8
+        ),
+        **{f"param/{k}": v for k, v in state.items()},
+    )
+    return path
+
+
+def load_uhscm(path: str | Path, clip: SimCLIP) -> UHSCM:
+    """Reload a model saved by :func:`save_uhscm`.
+
+    The caller supplies the :class:`SimCLIP` (it owns the world / feature
+    extractor, which is configuration, not learned state).  The world seed is
+    checked against the one recorded at save time.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise ConfigurationError(f"no such model file: {path}")
+    archive = np.load(path)
+    meta = json.loads(bytes(archive["__meta__"]).decode("utf-8"))
+    if meta.get("format_version") != _FORMAT_VERSION:
+        raise ConfigurationError(
+            f"unsupported model format {meta.get('format_version')!r}"
+        )
+    if meta["world_seed"] != clip.world.config.seed:
+        raise ConfigurationError(
+            f"model was trained on world seed {meta['world_seed']}, but the "
+            f"supplied SimCLIP uses seed {clip.world.config.seed}"
+        )
+
+    config_dict = dict(meta["config"])
+    config_dict["train"] = TrainConfig(**config_dict["train"])
+    config = UHSCMConfig(**config_dict)
+    model = UHSCM(config, clip=clip, concepts=tuple(meta["concepts"]),
+                  network_mode=meta["network_mode"])
+
+    # Rebuild the network shell, then load parameters into it.
+    feature_dim = clip.world.backbone_features(
+        np.zeros(
+            (1, clip.world.config.channels, clip.world.config.image_size,
+             clip.world.config.image_size)
+        )
+    ).shape[1]
+    from repro.core.hashing_network import HashingNetwork
+
+    model.network = HashingNetwork(
+        config.n_bits,
+        mode="feature",
+        feature_extractor=clip.world.backbone_features,
+        feature_dim=feature_dim,
+        rng=config.seed,
+    )
+    state = {
+        key[len("param/"):]: archive[key]
+        for key in archive.files
+        if key.startswith("param/")
+    }
+    model.network.net.load_state_dict(state)
+
+    from repro.core.similarity import SimilarityResult
+
+    model.similarity_ = SimilarityResult(
+        matrix=np.zeros((0, 0)),
+        concepts=tuple(meta["mined_concepts"]),
+    )
+    return model

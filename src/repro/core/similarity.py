@@ -1,0 +1,187 @@
+"""Semantic similarity matrix construction (paper §3.3, Eq. 3 and Eq. 6).
+
+:class:`SemanticSimilarityGenerator` runs the full pipeline of Figure 1's
+left half: mine concept distributions over the candidate set, denoise the
+set (Eq. 4–5), re-mine over the clean set, and return the cosine-similarity
+matrix Q of the final distributions (Eq. 6).  Flags expose every Table 2
+similarity-side ablation: denoising off (row 7), raw image features
+(row 3, ``UHSCM_IF``), alternative prompt templates (rows 4–5), template
+averaging (row 6), and k-means concept clustering (rows 8–12).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.denoising import DenoisingResult, denoise_concepts
+from repro.core.mining import ConceptMiner, concept_distributions
+from repro.errors import ConfigurationError
+from repro.utils.mathops import cosine_similarity_matrix
+from repro.vlp.clip import SimCLIP
+from repro.vlp.prompts import PromptTemplate
+
+
+def similarity_from_distributions(distributions: np.ndarray) -> np.ndarray:
+    """Eq. 3 / Eq. 6: pairwise cosine similarity of concept distributions."""
+    dist = np.asarray(distributions, dtype=np.float64)
+    if dist.ndim != 2:
+        raise ConfigurationError(
+            f"distributions must be (n, m), got {dist.shape}"
+        )
+    return cosine_similarity_matrix(dist)
+
+
+@dataclass
+class SimilarityResult:
+    """The similarity matrix Q plus provenance from the mining pipeline."""
+
+    matrix: np.ndarray
+    concepts: tuple[str, ...]
+    denoising: DenoisingResult | None = None
+    distributions: np.ndarray | None = field(default=None, repr=False)
+
+
+class SemanticSimilarityGenerator:
+    """Builds the paper's semantic similarity matrix Q from images.
+
+    Parameters
+    ----------
+    clip:
+        The (simulated) VLP model.
+    concepts:
+        Candidate concept set C (the paper uses the 81 NUS-WIDE names).
+    templates:
+        One or more prompt templates.  With several templates the per-
+        template similarity matrices are averaged (the ``UHSCM_avg``
+        ablation).
+    tau_scale:
+        τ multiplier for Eq. 2 (τ = tau_scale · m).
+    denoise:
+        Apply Eq. 4–5 between the two mining passes.
+    """
+
+    def __init__(
+        self,
+        clip: SimCLIP,
+        concepts: tuple[str, ...] | list[str],
+        templates: tuple[PromptTemplate | str | None, ...] = (None,),
+        tau_scale: float = 1.0,
+        denoise: bool = True,
+    ) -> None:
+        if not concepts:
+            raise ConfigurationError("candidate concept set is empty")
+        if not templates:
+            raise ConfigurationError("at least one prompt template is required")
+        self.clip = clip
+        self.concepts = tuple(concepts)
+        self.templates = templates
+        self.tau_scale = tau_scale
+        self.denoise = denoise
+
+    def _generate_single(
+        self, images: np.ndarray, template: PromptTemplate | str | None
+    ) -> SimilarityResult:
+        miner = ConceptMiner(self.clip, template=template, tau_scale=self.tau_scale)
+        distributions = miner.mine(images, self.concepts)
+        denoising: DenoisingResult | None = None
+        concepts = self.concepts
+        if self.denoise:
+            denoising = denoise_concepts(self.concepts, distributions)
+            concepts = denoising.kept_concepts
+            # Second prompting pass over the clean set C' (Algorithm 1 step 4).
+            distributions = miner.mine(images, concepts)
+        return SimilarityResult(
+            matrix=similarity_from_distributions(distributions),
+            concepts=concepts,
+            denoising=denoising,
+            distributions=distributions,
+        )
+
+    def generate(self, images: np.ndarray) -> SimilarityResult:
+        """Full §3.3 pipeline; averages matrices across templates if several."""
+        results = [self._generate_single(images, t) for t in self.templates]
+        if len(results) == 1:
+            return results[0]
+        averaged = np.mean([r.matrix for r in results], axis=0)
+        return SimilarityResult(
+            matrix=averaged,
+            concepts=results[0].concepts,
+            denoising=results[0].denoising,
+            distributions=None,
+        )
+
+
+class ImageFeatureSimilarityGenerator:
+    """The ``UHSCM_IF`` ablation: Q from raw VLP image-feature cosine.
+
+    Skips concept mining entirely — this is the strategy of prior work
+    (SSDH / MLS3RDUH style) that the paper argues against.
+    """
+
+    def __init__(self, clip: SimCLIP) -> None:
+        self.clip = clip
+
+    def generate(self, images: np.ndarray) -> SimilarityResult:
+        features = self.clip.image_features(images)
+        return SimilarityResult(
+            matrix=cosine_similarity_matrix(features),
+            concepts=(),
+            denoising=None,
+            distributions=None,
+        )
+
+
+class ClusteredConceptSimilarityGenerator:
+    """The ``UHSCM_cN`` ablations: k-means concept clusters as final concepts.
+
+    The candidate concepts' *text embeddings* are clustered; each centroid
+    acts as one final concept, and images are scored against centroids
+    directly (the clustering replacement for Eq. 4–5 denoising studied in
+    Table 2 rows 8–12).
+    """
+
+    def __init__(
+        self,
+        clip: SimCLIP,
+        concepts: tuple[str, ...] | list[str],
+        n_clusters: int,
+        template: PromptTemplate | str | None = None,
+        tau_scale: float = 1.0,
+        seed: int = 0,
+    ) -> None:
+        if n_clusters <= 0:
+            raise ConfigurationError(f"n_clusters must be positive: {n_clusters}")
+        if n_clusters > len(concepts):
+            raise ConfigurationError(
+                f"n_clusters ({n_clusters}) exceeds concept count ({len(concepts)})"
+            )
+        self.clip = clip
+        self.concepts = tuple(concepts)
+        self.n_clusters = n_clusters
+        self.template = template
+        self.tau_scale = tau_scale
+        self.seed = seed
+
+    def generate(self, images: np.ndarray) -> SimilarityResult:
+        from repro.analysis.kmeans import kmeans  # local: avoids import cycle
+        from repro.vlp.clip import resolve_template
+
+        # Embed the concept prompts, cluster them, use centroids as concepts.
+        template = resolve_template(self.template)
+        text_emb = self.clip.encode_texts(template.format_all(list(self.concepts)))
+        result = kmeans(text_emb, self.n_clusters, seed=self.seed)
+        centroids = result.centroids / np.maximum(
+            np.linalg.norm(result.centroids, axis=1, keepdims=True), 1e-12
+        )
+        image_emb = self.clip.encode_images(images)
+        scores = (np.clip(image_emb @ centroids.T, -1.0, 1.0) + 1.0) / 2.0
+        tau = self.tau_scale * self.n_clusters
+        distributions = concept_distributions(scores, tau)
+        return SimilarityResult(
+            matrix=similarity_from_distributions(distributions),
+            concepts=tuple(f"cluster_{i}" for i in range(self.n_clusters)),
+            denoising=None,
+            distributions=distributions,
+        )

@@ -1,0 +1,168 @@
+"""UHSCM training loop (paper Algorithm 1, steps 6–12).
+
+Mini-batches are sampled uniformly from the training set; each step forwards
+the batch through the hashing network, evaluates the Eq. 11 objective
+against the corresponding sub-block of the semantic similarity matrix Q, and
+updates the network with SGD (momentum 0.9, lr 0.006, weight decay 1e-5 —
+the paper's §4.1 settings, carried by :class:`~repro.config.TrainConfig`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.config import TrainConfig, UHSCMConfig
+from repro.core.hashing_network import HashingNetwork
+from repro.core.losses import (
+    LossBreakdown,
+    cib_contrastive_loss,
+    quantization_loss,
+    similarity_preserving_loss,
+    uhscm_objective,
+)
+from repro.errors import ConfigurationError
+from repro.nn.optim import SGD
+from repro.utils.rng import as_generator
+
+
+@dataclass
+class TrainHistory:
+    """Per-epoch averages of every loss term."""
+
+    total: list[float] = field(default_factory=list)
+    similarity: list[float] = field(default_factory=list)
+    contrastive: list[float] = field(default_factory=list)
+    quantization: list[float] = field(default_factory=list)
+
+    def append_epoch(self, breakdowns: list[LossBreakdown]) -> None:
+        self.total.append(float(np.mean([b.total for b in breakdowns])))
+        self.similarity.append(float(np.mean([b.similarity for b in breakdowns])))
+        self.contrastive.append(float(np.mean([b.contrastive for b in breakdowns])))
+        self.quantization.append(
+            float(np.mean([b.quantization for b in breakdowns]))
+        )
+
+    @property
+    def n_epochs(self) -> int:
+        return len(self.total)
+
+
+class UHSCMTrainer:
+    """Optimizes a hashing network against a fixed similarity matrix Q."""
+
+    #: Std of the Gaussian feature augmentation used to build the two views
+    #: of the CIB-style contrastive mode (stand-in for image augmentation).
+    AUGMENT_STD = 0.1
+
+    def __init__(
+        self,
+        network: HashingNetwork,
+        config: UHSCMConfig,
+        rng: int | np.random.Generator | None = None,
+        contrastive: str = "mcl",
+    ) -> None:
+        if contrastive not in ("mcl", "cib"):
+            raise ConfigurationError(
+                f"contrastive must be 'mcl' or 'cib', got {contrastive!r}"
+            )
+        self.network = network
+        self.config = config
+        self.contrastive = contrastive
+        self.rng = as_generator(config.seed if rng is None else rng)
+        train: TrainConfig = config.train
+        self.optimizer = SGD(
+            network.parameters(),
+            learning_rate=train.learning_rate,
+            momentum=train.momentum,
+            weight_decay=train.weight_decay,
+        )
+
+    def fit(
+        self,
+        inputs: np.ndarray,
+        similarity: np.ndarray,
+        epochs: int | None = None,
+    ) -> TrainHistory:
+        """Run Algorithm 1's optimization loop.
+
+        Parameters
+        ----------
+        inputs:
+            Network-ready training inputs (features or raw images), length n.
+        similarity:
+            The (n, n) semantic similarity matrix Q.
+        epochs:
+            Override for ``config.train.epochs``.
+        """
+        inputs = np.asarray(inputs, dtype=np.float64)
+        n = inputs.shape[0]
+        if similarity.shape != (n, n):
+            raise ConfigurationError(
+                f"similarity must be ({n}, {n}), got {similarity.shape}"
+            )
+        epochs = self.config.train.epochs if epochs is None else epochs
+        if epochs <= 0:
+            raise ConfigurationError(f"epochs must be positive: {epochs}")
+        batch_size = min(self.config.train.batch_size, n)
+
+        cfg = self.config
+        history = TrainHistory()
+        self.network.train()
+        for _ in range(epochs):
+            order = self.rng.permutation(n)
+            breakdowns: list[LossBreakdown] = []
+            for start in range(0, n, batch_size):
+                idx = order[start : start + batch_size]
+                if idx.size < 2:
+                    continue  # pairwise losses need at least two images
+                q_batch = similarity[np.ix_(idx, idx)]
+                if self.contrastive == "mcl":
+                    breakdown = self._step_mcl(inputs[idx], q_batch)
+                else:
+                    breakdown = self._step_cib(inputs[idx], q_batch)
+                breakdowns.append(breakdown)
+            history.append_epoch(breakdowns)
+        return history
+
+    def _step_mcl(self, batch: np.ndarray, q_batch: np.ndarray) -> LossBreakdown:
+        """One Eq. 11 step with the paper's modified contrastive loss."""
+        cfg = self.config
+        z = self.network.forward(batch)
+        breakdown, grad_z = uhscm_objective(
+            z, q_batch,
+            alpha=cfg.alpha, beta=cfg.beta, gamma=cfg.gamma, lam=cfg.lam,
+        )
+        self.optimizer.zero_grad()
+        self.network.backward(grad_z)
+        self.optimizer.step()
+        return breakdown
+
+    def _step_cib(self, batch: np.ndarray, q_batch: np.ndarray) -> LossBreakdown:
+        """One step of the ``UHSCM_CL`` ablation: Eq. 10's J_c replaces L_c.
+
+        Two augmented views share the network, so the batch is forwarded
+        twice and the second view's gradient is applied before re-forwarding
+        the first (layer caches hold one activation set at a time).
+        """
+        cfg = self.config
+        view1 = batch + self.rng.normal(size=batch.shape) * self.AUGMENT_STD
+        view2 = batch + self.rng.normal(size=batch.shape) * self.AUGMENT_STD
+        z1 = self.network.forward(view1)
+        ls, grad_s = similarity_preserving_loss(z1, q_batch)
+        lq, grad_q = quantization_loss(z1)
+        z2 = self.network.forward(view2)
+        jc, grad_c1, grad_c2 = cib_contrastive_loss(z1, z2, gamma=cfg.gamma)
+
+        self.optimizer.zero_grad()
+        self.network.backward(cfg.alpha * grad_c2)  # cache holds view2
+        self.network.forward(view1)  # re-populate caches for view1
+        self.network.backward(grad_s + cfg.beta * grad_q + cfg.alpha * grad_c1)
+        self.optimizer.step()
+        return LossBreakdown(
+            total=ls + cfg.alpha * jc + cfg.beta * lq,
+            similarity=ls,
+            contrastive=jc,
+            quantization=lq,
+        )

@@ -1,0 +1,89 @@
+"""Synthetic analogues of the paper's three benchmark datasets.
+
+:func:`load_dataset` is the main entry point::
+
+    from repro.datasets import load_dataset
+    data = load_dataset("cifar10", scale=0.05, seed=7)
+
+``scale=1.0`` reproduces the paper's split sizes exactly; the default 0.05 is
+sized for CPU runs.  Passing the same :class:`~repro.vlp.world.SemanticWorld`
+instance used by SimCLIP is handled automatically when you leave ``world``
+as ``None`` (both default to the same seeded world).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.base import HashingDataset
+from repro.datasets.cifar10 import cifar10_spec
+from repro.datasets.mirflickr import mirflickr_spec
+from repro.datasets.nuswide import nuswide_spec
+from repro.datasets.splits import PAPER_SPLITS, SplitSizes, paper_splits
+from repro.datasets.synthetic import DatasetSpec, generate_dataset
+from repro.errors import ConfigurationError
+from repro.vlp.world import SemanticWorld
+
+_SPECS = {
+    "cifar10": cifar10_spec,
+    "nuswide": nuswide_spec,
+    "mirflickr": mirflickr_spec,
+}
+
+#: Canonical dataset order used by every experiment table.
+DATASET_NAMES: tuple[str, ...] = ("cifar10", "nuswide", "mirflickr")
+
+
+def dataset_spec(name: str) -> DatasetSpec:
+    """The generation spec for a benchmark dataset."""
+    key = name.strip().lower()
+    if key not in _SPECS:
+        raise ConfigurationError(
+            f"unknown dataset {name!r}; options: {sorted(_SPECS)}"
+        )
+    return _SPECS[key]()
+
+
+def load_dataset(
+    name: str,
+    scale: float = 0.05,
+    seed: int | np.random.Generator | None = 0,
+    world: SemanticWorld | None = None,
+    sizes: SplitSizes | None = None,
+) -> HashingDataset:
+    """Generate a benchmark dataset at the requested scale.
+
+    Parameters
+    ----------
+    name:
+        ``cifar10`` / ``nuswide`` / ``mirflickr``.
+    scale:
+        Fraction of the paper's split sizes (ignored when ``sizes`` given).
+    seed:
+        Controls label sampling and image noise (not world geometry).
+    world:
+        Semantic world shared with SimCLIP; a default world is created if
+        omitted.
+    sizes:
+        Explicit split sizes overriding ``scale``.
+    """
+    spec = dataset_spec(name)
+    if sizes is None:
+        sizes = paper_splits(spec.name, scale)
+    return generate_dataset(spec, sizes, world=world, seed=seed)
+
+
+__all__ = [
+    "DATASET_NAMES",
+    "DatasetSpec",
+    "HashingDataset",
+    "PAPER_SPLITS",
+    "SplitSizes",
+    "cifar10_spec",
+    "dataset_spec",
+    "generate_dataset",
+    "load_dataset",
+    "mirflickr_spec",
+    "nuswide_spec",
+    "paper_splits",
+]

@@ -1,0 +1,136 @@
+"""Dataset container shared by every benchmark dataset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ShapeError
+from repro.vlp.world import SemanticWorld
+
+
+@dataclass
+class HashingDataset:
+    """A retrieval dataset: images + multi-hot labels for three splits.
+
+    Splits follow the paper's protocol: ``query`` images are held-out search
+    probes, ``database`` images are the corpus being searched, and ``train``
+    is an (unlabeled, from the method's point of view) subset of the database
+    used to fit hashing models.  Labels exist only for *evaluation* — two
+    images count as relevant iff they share at least one label (§4.2).
+
+    Attributes
+    ----------
+    name:
+        Dataset identifier (``cifar10`` / ``nuswide`` / ``mirflickr``).
+    class_names:
+        Evaluation label names, length ``L``.
+    *_images:
+        NCHW float arrays rendered by the semantic world.
+    *_labels:
+        Multi-hot ``(n, L)`` int8 arrays aligned with the images.
+    train_indices:
+        Positions of the training images inside the database split.
+    world:
+        The generative world the images came from (shared with SimCLIP).
+    """
+
+    name: str
+    class_names: tuple[str, ...]
+    train_images: np.ndarray
+    train_labels: np.ndarray
+    query_images: np.ndarray
+    query_labels: np.ndarray
+    database_images: np.ndarray
+    database_labels: np.ndarray
+    train_indices: np.ndarray
+    world: SemanticWorld
+    _feature_cache: dict[str, np.ndarray] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        self._validate_split("train", self.train_images, self.train_labels)
+        self._validate_split("query", self.query_images, self.query_labels)
+        self._validate_split("database", self.database_images, self.database_labels)
+        if self.train_indices.shape != (self.train_images.shape[0],):
+            raise ShapeError(
+                f"train_indices has shape {self.train_indices.shape}, expected "
+                f"({self.train_images.shape[0]},)"
+            )
+        if np.any(self.train_indices < 0) or np.any(
+            self.train_indices >= self.database_images.shape[0]
+        ):
+            raise ConfigurationError("train_indices out of database range")
+
+    def _validate_split(self, split: str, images: np.ndarray,
+                        labels: np.ndarray) -> None:
+        if images.ndim != 4:
+            raise ShapeError(f"{split}_images must be NCHW, got {images.shape}")
+        n_classes = len(self.class_names)
+        if labels.shape != (images.shape[0], n_classes):
+            raise ShapeError(
+                f"{split}_labels must be ({images.shape[0]}, {n_classes}), "
+                f"got {labels.shape}"
+            )
+        if labels.min() < 0 or labels.max() > 1:
+            raise ShapeError(f"{split}_labels must be multi-hot 0/1")
+        if np.any(labels.sum(axis=1) == 0):
+            raise ConfigurationError(f"{split} split contains unlabeled images")
+
+    # -- sizes --------------------------------------------------------------
+
+    @property
+    def n_train(self) -> int:
+        return self.train_images.shape[0]
+
+    @property
+    def n_query(self) -> int:
+        return self.query_images.shape[0]
+
+    @property
+    def n_database(self) -> int:
+        return self.database_images.shape[0]
+
+    @property
+    def n_classes(self) -> int:
+        return len(self.class_names)
+
+    @property
+    def is_multilabel(self) -> bool:
+        return bool((self.train_labels.sum(axis=1) > 1).any())
+
+    # -- simulated pretrained-backbone features ------------------------------
+
+    def features(self, split: str) -> np.ndarray:
+        """Simulated ImageNet-pretrained VGG19 features for a split.
+
+        The paper feeds 4,096-d fc7 features to the shallow baselines and
+        initializes deep models from the pretrained stem; this reproduction's
+        stand-in is the semantic world's degraded ``vgg_features`` encoder
+        (see DESIGN.md §2).  Cached per split.
+        """
+        images = {
+            "train": self.train_images,
+            "query": self.query_images,
+            "database": self.database_images,
+        }
+        if split not in images:
+            raise ConfigurationError(
+                f"unknown split {split!r}; options: train/query/database"
+            )
+        if split not in self._feature_cache:
+            self._feature_cache[split] = self.world.vgg_features(images[split])
+        return self._feature_cache[split]
+
+    def labels(self, split: str) -> np.ndarray:
+        """Multi-hot labels of a split (evaluation only)."""
+        table = {
+            "train": self.train_labels,
+            "query": self.query_labels,
+            "database": self.database_labels,
+        }
+        if split not in table:
+            raise ConfigurationError(
+                f"unknown split {split!r}; options: train/query/database"
+            )
+        return table[split]

@@ -1,0 +1,26 @@
+"""Synthetic CIFAR10 analogue: single-label, 10 balanced classes.
+
+CIFAR10 is the paper's single-label dataset — the one where concept mining
+helps most (§4.3.1).  Images contain exactly one class concept and no
+unlabeled context, matching the tiny single-object 32x32 originals.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.synthetic import DatasetSpec
+from repro.vlp.concepts import CIFAR10_CLASSES
+
+
+def cifar10_spec() -> DatasetSpec:
+    """Spec for the synthetic CIFAR10 dataset."""
+    n = len(CIFAR10_CLASSES)
+    return DatasetSpec(
+        name="cifar10",
+        class_names=CIFAR10_CLASSES,
+        class_probs=tuple([1.0 / n] * n),
+        single_label=True,
+        # CIFAR classes are visually broad (every dog breed and pose is one
+        # class), so per-image individuality is high relative to the single
+        # shared concept.
+        instance_scale=1.6,
+    )

@@ -1,0 +1,79 @@
+"""Train / query / database split sizing.
+
+The paper's split protocol (§4.1):
+
+=============  ========  =======  =========
+dataset        train     query    database
+=============  ========  =======  =========
+CIFAR10        10,000    1,000    59,000
+NUS-WIDE       10,500    5,000    190,834
+MIRFlickr-25K  10,000    1,000    24,000
+=============  ========  =======  =========
+
+Queries are held out; the training set is sampled from the database (so the
+database contains the training images, as in the paper).  A ``scale`` factor
+shrinks everything proportionally for CPU reproduction runs while keeping the
+ratios, with floors so tiny scales stay usable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+#: Paper §4.1 split sizes per dataset.
+PAPER_SPLITS: dict[str, tuple[int, int, int]] = {
+    "cifar10": (10_000, 1_000, 59_000),
+    "nuswide": (10_500, 5_000, 190_834),
+    "mirflickr": (10_000, 1_000, 24_000),
+}
+
+_MIN_TRAIN = 60
+_MIN_QUERY = 30
+_MIN_DATABASE = 120
+
+
+@dataclass(frozen=True)
+class SplitSizes:
+    """Number of images in each split; database ⊇ train."""
+
+    train: int
+    query: int
+    database: int
+
+    def __post_init__(self) -> None:
+        if min(self.train, self.query, self.database) <= 0:
+            raise ConfigurationError(f"split sizes must be positive: {self}")
+        if self.database < self.train:
+            raise ConfigurationError(
+                f"database ({self.database}) must be >= train ({self.train}) "
+                "because the training set is drawn from the database"
+            )
+
+    @property
+    def total_generated(self) -> int:
+        """Images to synthesize: query + database (train is a database subset)."""
+        return self.query + self.database
+
+
+def paper_splits(dataset: str, scale: float = 1.0) -> SplitSizes:
+    """Paper split sizes for ``dataset``, shrunk by ``scale``.
+
+    ``scale=1.0`` reproduces the paper's protocol exactly; smaller values
+    keep the train:query:database ratios with sanity floors.
+    """
+    key = dataset.strip().lower()
+    if key not in PAPER_SPLITS:
+        raise ConfigurationError(
+            f"unknown dataset {dataset!r}; options: {sorted(PAPER_SPLITS)}"
+        )
+    if not 0 < scale <= 1.0:
+        raise ConfigurationError(f"scale must be in (0, 1]: {scale}")
+    train, query, database = PAPER_SPLITS[key]
+    return SplitSizes(
+        train=max(_MIN_TRAIN, round(train * scale)),
+        query=max(_MIN_QUERY, round(query * scale)),
+        database=max(_MIN_DATABASE, max(_MIN_TRAIN, round(train * scale)),
+                     round(database * scale)),
+    )

@@ -1,0 +1,32 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class.  Subclasses separate user errors (bad configuration or
+arguments) from internal invariant violations.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """A configuration value is missing, malformed, or inconsistent."""
+
+
+class ShapeError(ReproError, ValueError):
+    """An array argument has the wrong shape or dtype."""
+
+
+class NotFittedError(ReproError, RuntimeError):
+    """A model method requiring a fitted model was called before ``fit``."""
+
+
+class VocabularyError(ReproError, ValueError):
+    """A concept or token is not part of the active vocabulary."""
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """An iterative solver failed to converge within its iteration budget."""

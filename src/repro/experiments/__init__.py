@@ -1,0 +1,53 @@
+"""Experiment runners regenerating every table and figure of the paper."""
+
+from repro.experiments.figure2 import FIGURE2_BITS, FIGURE2_POINTS, run_figure2
+from repro.experiments.figure3 import FIGURE3_BITS, run_figure3
+from repro.experiments.figure4 import SWEEP_GRIDS, run_figure4
+from repro.experiments.figure5 import FIGURE5_METHODS, Figure5Result, run_figure5
+from repro.experiments.figure6 import FIGURE6_METHODS, Figure6Result, run_figure6
+from repro.experiments.reporting import (
+    CurveFamily,
+    MapTable,
+    SweepResult,
+    TimingTable,
+)
+from repro.experiments.runner import (
+    TABLE1_METHODS,
+    ExperimentContext,
+    FitResult,
+    make_contexts,
+)
+from repro.experiments.table1 import PAPER_TABLE1, run_table1
+from repro.experiments.table2 import PAPER_TABLE2_64BITS, run_table2
+from repro.experiments.table3 import PAPER_TABLE3_MINUTES, TABLE3_METHODS, run_table3
+
+__all__ = [
+    "CurveFamily",
+    "ExperimentContext",
+    "FIGURE2_BITS",
+    "FIGURE2_POINTS",
+    "FIGURE3_BITS",
+    "FIGURE5_METHODS",
+    "FIGURE6_METHODS",
+    "Figure5Result",
+    "Figure6Result",
+    "FitResult",
+    "MapTable",
+    "PAPER_TABLE1",
+    "PAPER_TABLE2_64BITS",
+    "PAPER_TABLE3_MINUTES",
+    "SWEEP_GRIDS",
+    "SweepResult",
+    "TABLE1_METHODS",
+    "TABLE3_METHODS",
+    "TimingTable",
+    "make_contexts",
+    "run_figure2",
+    "run_figure3",
+    "run_figure4",
+    "run_figure5",
+    "run_figure6",
+    "run_table1",
+    "run_table2",
+    "run_table3",
+]

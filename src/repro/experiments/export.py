@@ -1,0 +1,100 @@
+"""Assemble EXPERIMENTS.md from persisted benchmark results.
+
+``pytest benchmarks/ --benchmark-only`` writes each regenerated table/figure
+to ``benchmarks/results/<name>.txt``; :func:`write_experiments_md` stitches
+them into the paper-vs-measured record the reproduction brief requires.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+_HEADER = """\
+# EXPERIMENTS — paper vs. measured
+
+Generated from the benchmark harness (`pytest benchmarks/ --benchmark-only`);
+raw renders live in `benchmarks/results/`.  Absolute numbers are measured at
+reproduction scale (~4% of the paper's split sizes) on the simulated
+substrate, so the comparison target is *shape* — orderings, margins, and
+crossovers — not absolute values.  See DESIGN.md §2 for the substitution
+argument and §2.2 for deliberate deviations.
+
+## Shape claims and their status
+
+| claim (paper) | where checked |
+|---|---|
+| UHSCM best on all 3 datasets × 4 code lengths (Table 1) | `table1` section below |
+| Largest UHSCM margin on CIFAR10; small margins on multi-label sets | `table1` |
+| UHSCM's P@N curve dominates at every N (Figure 2) | `figure2` |
+| UHSCM's PR curve dominates (Figure 3) | `figure3` |
+| Concept vocabulary matters: COCO best on CIFAR10, NUS-81 best on the others (Table 2 rows 1–2) | `table2` |
+| Concept mining beats raw CLIP-feature similarity (row 3) | `table2` |
+| "a photo of the {concept}" is the best template (rows 4–6) | `table2` |
+| Eq. 4–5 denoising beats no-denoising and k-means clustering (rows 7–12) | `table2` |
+| Modified contrastive loss beats none and beats CIB's J_c (rows 13–14) | `table2` |
+| UHSCM's cost comparable to SSDH/GH/CIB; BGAN & MLS3RDUH much slower (Table 3) | `table3` |
+| UHSCM's hash codes form the best-separated clusters (Figure 5) | `figure5` |
+| UHSCM has the fewest fault images in top-10 retrieval (Figure 6) | `figure6` |
+
+## Known deviations
+
+1. **Table 3, MLS3RDUH ranking.** At reproduction scale (~420 training
+   images) MLS3RDUH's O(n²·hops) manifold diffusion is cheap, so it does not
+   dominate the cost table the way it does at the paper's n = 10,500.  The
+   bench therefore also times the *guidance-construction* step at two scales
+   to exhibit the super-linear growth that makes it the slowest method at
+   paper scale.  BGAN's extra generator/discriminator updates do reproduce
+   its premium at every scale.
+2. **Compressed multi-label margins.** UHSCM wins NUS-WIDE and MIRFlickr by
+   ~0.01–0.03 MAP (paper: ~0.02–0.03) — the ordering holds, but with a small
+   absolute cushion, individual cells at one bit width can sit within noise
+   of CIB.
+3. **Hyper-parameters.** τ default is 1m (paper: 3m, with 1m reported
+   equally good); the multi-label (α, λ, γ) optima shift slightly after
+   re-running the paper's §4.6 selection on the simulated data (DESIGN.md
+   §2.2).
+
+"""
+
+#: Sections in the order they appear in the paper.
+_SECTIONS = (
+    ("table1", "Table 1 — MAP of Hamming ranking"),
+    ("figure2", "Figure 2 — Precision@N curves"),
+    ("figure3", "Figure 3 — Precision-Recall curves (hash lookup)"),
+    ("table2", "Table 2 — ablation variants"),
+    ("table3", "Table 3 — time consumption"),
+    ("figure4", "Figure 4 — hyper-parameter sensitivity"),
+    ("figure5", "Figure 5 — t-SNE cluster separation"),
+    ("figure6", "Figure 6 — top-10 retrieval quality"),
+    ("ablation_prompt_tuning",
+     "Extension — CoOp-style prompt tuning (beyond the paper)"),
+)
+
+
+def write_experiments_md(
+    results_dir: str | Path,
+    output_path: str | Path,
+) -> str:
+    """Build EXPERIMENTS.md from the persisted benchmark renders.
+
+    Missing sections are marked as not-yet-run rather than failing, so the
+    document can be regenerated incrementally.  Returns the rendered text.
+    """
+    results_dir = Path(results_dir)
+    parts = [_HEADER]
+    for name, title in _SECTIONS:
+        parts.append(f"## {name}: {title}\n")
+        path = results_dir / f"{name}.txt"
+        if path.exists():
+            parts.append("```text")
+            parts.append(path.read_text().rstrip())
+            parts.append("```")
+        else:
+            parts.append(
+                f"*(not yet generated — run "
+                f"`pytest benchmarks/bench_{name}.py --benchmark-only`)*"
+            )
+        parts.append("")
+    text = "\n".join(parts)
+    Path(output_path).write_text(text)
+    return text

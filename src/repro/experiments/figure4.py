@@ -1,0 +1,92 @@
+"""Figure 4: sensitivity of UHSCM to its five hyper-parameters.
+
+One panel per (dataset, parameter) at 64 bits, sweeping the same grids as
+the paper: τ ∈ {1m..4m}, α ∈ {0..0.5}, λ ∈ {0.5..1.0}, γ ∈ {0.1..0.6},
+β ∈ {0, 1e-4, 1e-3, 1e-2, 1e-1}.  The claim reproduced is that UHSCM is
+robust in a broad band around the chosen defaults.
+
+For the α/λ/γ/β sweeps the semantic similarity matrix Q is mined once and
+re-used (it does not depend on them); the τ sweep re-mines per value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.core.similarity import SemanticSimilarityGenerator
+from repro.core.uhscm import UHSCM
+from repro.datasets import DATASET_NAMES
+from repro.experiments.reporting import SweepResult
+from repro.experiments.runner import ExperimentContext, make_contexts
+from repro.vlp.concepts import NUS_WIDE_81
+
+#: Paper sweep grids (§4.6).
+SWEEP_GRIDS: dict[str, tuple[float, ...]] = {
+    "tau_scale": (1.0, 2.0, 3.0, 4.0),
+    "alpha": (0.0, 0.1, 0.2, 0.3, 0.4, 0.5),
+    "lam": (0.5, 0.6, 0.7, 0.8, 0.9, 1.0),
+    "gamma": (0.1, 0.2, 0.3, 0.4, 0.5, 0.6),
+    "beta": (0.0, 0.0001, 0.001, 0.01, 0.1),
+}
+
+
+def _sweep_mined_q(
+    ctx: ExperimentContext,
+    parameter: str,
+    values: tuple[float, ...],
+    n_bits: int,
+) -> SweepResult:
+    """Sweep a training-side parameter against a fixed, pre-mined Q."""
+    sweep = SweepResult(parameter=parameter, dataset=ctx.dataset_name)
+    base = ctx.uhscm_config(n_bits)
+    generator = SemanticSimilarityGenerator(
+        ctx.clip, NUS_WIDE_81,
+        templates=(base.prompt_template,),
+        tau_scale=base.tau_scale, denoise=base.denoise,
+    )
+    q = generator.generate(ctx.dataset.train_images).matrix
+    for value in values:
+        if parameter == "gamma" and value == 0.0:
+            continue  # gamma must stay positive
+        config = replace(base, **{parameter: value})
+        model = UHSCM(config, clip=ctx.clip)
+        model.fit(ctx.dataset.train_images, similarity=q)
+        sweep.record(value, ctx.evaluate_model(model).map)
+    return sweep
+
+
+def _sweep_tau(
+    ctx: ExperimentContext, values: tuple[float, ...], n_bits: int
+) -> SweepResult:
+    """τ changes the mined distributions, so re-mine per value."""
+    sweep = SweepResult(parameter="tau_scale", dataset=ctx.dataset_name)
+    base = ctx.uhscm_config(n_bits)
+    for value in values:
+        config = replace(base, tau_scale=value)
+        model = UHSCM(config, clip=ctx.clip)
+        model.fit(ctx.dataset.train_images)
+        sweep.record(value, ctx.evaluate_model(model).map)
+    return sweep
+
+
+def run_figure4(
+    scale: float = 0.02,
+    n_bits: int = 64,
+    datasets: tuple[str, ...] = DATASET_NAMES,
+    parameters: tuple[str, ...] = tuple(SWEEP_GRIDS),
+    seed: int = 0,
+    epochs: int | None = None,
+) -> dict[tuple[str, str], SweepResult]:
+    """Regenerate every Figure 4 panel; keys are (dataset, parameter)."""
+    panels: dict[tuple[str, str], SweepResult] = {}
+    contexts = make_contexts(datasets, scale=scale, seed=seed, epochs=epochs)
+    for dataset, ctx in contexts.items():
+        for parameter in parameters:
+            values = SWEEP_GRIDS[parameter]
+            if parameter == "tau_scale":
+                panels[(dataset, parameter)] = _sweep_tau(ctx, values, n_bits)
+            else:
+                panels[(dataset, parameter)] = _sweep_mined_q(
+                    ctx, parameter, values, n_bits
+                )
+    return panels

@@ -1,0 +1,67 @@
+"""Figure 6: top-10 retrieval quality on CIFAR10.
+
+The paper frames sample queries' top-10 results in green (relevant) / red
+(irrelevant) and counts "fault images".  The headless reproduction measures
+precision@10 over a query sample per method and renders an ASCII grid of
+✓/✗ for the first queries — same information, no pixels needed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments.runner import ExperimentContext
+from repro.retrieval.engine import HammingIndex
+from repro.retrieval.protocol import relevance_matrix
+
+#: Methods shown in the paper's Figure 6.
+FIGURE6_METHODS: tuple[str, ...] = ("UHSCM", "CIB", "MLS3RDUH", "BGAN")
+
+
+@dataclass
+class Figure6Result:
+    """Precision@10 per method plus per-query hit grids."""
+
+    precision_at_10: dict[str, float]
+    hit_grids: dict[str, np.ndarray]  # (n_queries, 10) booleans
+
+    def render(self, max_queries: int = 5) -> str:
+        lines = ["Figure 6: top-10 retrieval on CIFAR10 (64 bits)"]
+        for method, p10 in self.precision_at_10.items():
+            lines.append(f"  {method:10s} mean P@10 = {p10:.3f}")
+            grid = self.hit_grids[method][:max_queries]
+            for qi, row in enumerate(grid):
+                marks = "".join("+" if hit else "." for hit in row)
+                lines.append(f"    query {qi}: {marks}")
+        return "\n".join(lines)
+
+
+def run_figure6(
+    scale: float = 0.02,
+    n_bits: int = 64,
+    methods: tuple[str, ...] = FIGURE6_METHODS,
+    n_queries: int = 20,
+    seed: int = 0,
+    epochs: int | None = None,
+) -> Figure6Result:
+    """Regenerate Figure 6 as precision@10 + hit grids on sampled queries."""
+    ctx = ExperimentContext("cifar10", scale=scale, seed=seed, epochs=epochs)
+    rng = np.random.default_rng(seed)
+    n_queries = min(n_queries, ctx.dataset.n_query)
+    sample = rng.choice(ctx.dataset.n_query, size=n_queries, replace=False)
+    relevance = relevance_matrix(
+        ctx.dataset.query_labels[sample], ctx.dataset.database_labels
+    )
+
+    precisions: dict[str, float] = {}
+    grids: dict[str, np.ndarray] = {}
+    for method in methods:
+        fit = ctx.fit(method, n_bits)
+        index = HammingIndex(n_bits).add(fit.database_codes)
+        top_idx, _ = index.search(fit.query_codes[sample], top_k=10)
+        hits = np.take_along_axis(relevance, top_idx, axis=1)
+        precisions[method] = float(hits.mean())
+        grids[method] = hits
+    return Figure6Result(precision_at_10=precisions, hit_grids=grids)

@@ -1,0 +1,135 @@
+"""Result containers and rendering for the experiment runners.
+
+Every experiment returns a structured result object with a ``render()``
+method that prints the same rows/columns as the paper's table or figure, so
+reproduced numbers can be eyeballed against the published ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.utils.tables import format_float, render_table
+
+
+@dataclass
+class MapTable:
+    """MAP results laid out like the paper's Tables 1 and 2.
+
+    ``cells[method][(dataset, bits)] = MAP``.
+    """
+
+    title: str
+    methods: list[str] = field(default_factory=list)
+    datasets: list[str] = field(default_factory=list)
+    bit_lengths: list[int] = field(default_factory=list)
+    cells: dict[str, dict[tuple[str, int], float]] = field(default_factory=dict)
+
+    def record(self, method: str, dataset: str, bits: int, value: float) -> None:
+        if method not in self.methods:
+            self.methods.append(method)
+        if dataset not in self.datasets:
+            self.datasets.append(dataset)
+        if bits not in self.bit_lengths:
+            self.bit_lengths.append(bits)
+        self.cells.setdefault(method, {})[(dataset, bits)] = value
+
+    def value(self, method: str, dataset: str, bits: int) -> float:
+        return self.cells[method][(dataset, bits)]
+
+    def render(self) -> str:
+        headers = ["Method"] + [
+            f"{ds}/{bits}" for ds in self.datasets for bits in self.bit_lengths
+        ]
+        rows = []
+        for method in self.methods:
+            row: list[object] = [method]
+            for ds in self.datasets:
+                for bits in self.bit_lengths:
+                    value = self.cells.get(method, {}).get((ds, bits))
+                    row.append("-" if value is None else format_float(value))
+            rows.append(row)
+        return render_table(headers, rows, title=self.title)
+
+
+@dataclass
+class CurveFamily:
+    """A named family of (x, y) curves, one per method (Figures 2 and 3)."""
+
+    title: str
+    x_label: str
+    y_label: str
+    x_values: dict[str, np.ndarray] = field(default_factory=dict)
+    y_values: dict[str, np.ndarray] = field(default_factory=dict)
+
+    def record(self, method: str, x: np.ndarray, y: np.ndarray) -> None:
+        self.x_values[method] = np.asarray(x, dtype=np.float64)
+        self.y_values[method] = np.asarray(y, dtype=np.float64)
+
+    @property
+    def methods(self) -> list[str]:
+        return list(self.y_values)
+
+    def render(self, max_points: int = 12) -> str:
+        lines = [f"{self.title}  ({self.x_label} -> {self.y_label})"]
+        for method in self.methods:
+            x, y = self.x_values[method], self.y_values[method]
+            if x.size > max_points:
+                idx = np.linspace(0, x.size - 1, max_points).round().astype(int)
+                x, y = x[idx], y[idx]
+            points = "  ".join(
+                f"{xi:g}:{format_float(float(yi))}" for xi, yi in zip(x, y)
+            )
+            lines.append(f"  {method:10s} {points}")
+        return "\n".join(lines)
+
+
+@dataclass
+class SweepResult:
+    """One hyper-parameter sensitivity sweep (one panel of Figure 4)."""
+
+    parameter: str
+    dataset: str
+    values: list[float] = field(default_factory=list)
+    maps: list[float] = field(default_factory=list)
+
+    def record(self, value: float, map_score: float) -> None:
+        self.values.append(float(value))
+        self.maps.append(float(map_score))
+
+    @property
+    def best_value(self) -> float:
+        return self.values[int(np.argmax(self.maps))]
+
+    def render(self) -> str:
+        pairs = "  ".join(
+            f"{v:g}:{format_float(m)}" for v, m in zip(self.values, self.maps)
+        )
+        return (
+            f"Figure4[{self.dataset}] {self.parameter}: {pairs}   "
+            f"(best {self.parameter}={self.best_value:g})"
+        )
+
+
+@dataclass
+class TimingTable:
+    """Method wall-clock times per dataset (Table 3, minutes in the paper)."""
+
+    title: str
+    seconds: dict[str, dict[str, float]] = field(default_factory=dict)
+
+    def record(self, method: str, dataset: str, elapsed_seconds: float) -> None:
+        self.seconds.setdefault(method, {})[dataset] = elapsed_seconds
+
+    def render(self) -> str:
+        datasets = sorted({d for row in self.seconds.values() for d in row})
+        headers = ["Method"] + [f"{d} (s)" for d in datasets]
+        rows = []
+        for method, row in self.seconds.items():
+            rows.append(
+                [method]
+                + [format_float(row.get(d, float("nan")), 2) for d in datasets]
+            )
+        return render_table(headers, rows, title=self.title)

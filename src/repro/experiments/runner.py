@@ -1,0 +1,155 @@
+"""Shared machinery for the experiment runners.
+
+The paper's evaluation (§4.1) compares ten methods on three datasets at four
+code lengths.  :class:`ExperimentContext` owns the dataset + SimCLIP pair
+for one dataset at one scale and knows how to fit any method by Table 1 name
+and produce its query/database codes, so each table/figure runner is a thin
+loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.baselines import BASELINES, make_baseline
+from repro.config import UHSCMConfig, paper_config
+from repro.core.uhscm import UHSCM
+from repro.core.variants import get_variant
+from repro.datasets import HashingDataset, load_dataset
+from repro.errors import ConfigurationError
+from repro.retrieval import RetrievalReport, evaluate_codes
+from repro.utils.timer import Timer
+from repro.vlp import SimCLIP
+
+#: Table 1 method order (paper rows top to bottom).
+TABLE1_METHODS: tuple[str, ...] = (
+    "LSH", "SH", "ITQ", "AGH", "SSDH", "GH", "BGAN", "MLS3RDUH", "CIB",
+    "UHSCM",
+)
+
+_SHALLOW = frozenset({"LSH", "SH", "ITQ", "AGH"})
+
+
+@dataclass
+class FitResult:
+    """Codes + timing for one fitted method on one dataset at one bit width."""
+
+    method: str
+    n_bits: int
+    query_codes: np.ndarray
+    database_codes: np.ndarray
+    fit_seconds: float
+
+
+@dataclass
+class ExperimentContext:
+    """One dataset (with its world and SimCLIP) plus a code cache."""
+
+    dataset_name: str
+    scale: float = 0.02
+    seed: int = 0
+    epochs: int | None = None
+    dataset: HashingDataset = field(init=False)
+    clip: SimCLIP = field(init=False)
+    _cache: dict[tuple[str, int], FitResult] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.dataset = load_dataset(self.dataset_name, scale=self.scale,
+                                    seed=self.seed)
+        self.clip = SimCLIP(self.dataset.world)
+
+    # -- method construction ---------------------------------------------------
+
+    def build_method(self, name: str, n_bits: int):
+        """Instantiate a Table 1 method (baseline or UHSCM) ready to fit."""
+        world = self.dataset.world
+        if name.upper() == "UHSCM":
+            return UHSCM(self.uhscm_config(n_bits), clip=self.clip)
+        if name in _SHALLOW or name.upper() in _SHALLOW:
+            return make_baseline(name, n_bits, world.vgg_features,
+                                 seed=self.seed)
+        kwargs = {}
+        if self.epochs is not None:
+            kwargs["epochs"] = self.epochs
+        return make_baseline(
+            name,
+            n_bits,
+            world.backbone_features,
+            seed=self.seed,
+            guidance_extractor=world.vgg_features,
+            augment_fn=lambda f, rng: world.augment_features(f, rng),
+            **kwargs,
+        )
+
+    def uhscm_config(self, n_bits: int) -> UHSCMConfig:
+        config = paper_config(self.dataset_name, n_bits=n_bits, seed=self.seed)
+        if self.epochs is not None:
+            from dataclasses import replace
+
+            config = replace(config, train=replace(config.train,
+                                                   epochs=self.epochs))
+        return config
+
+    def build_variant(self, key: str, n_bits: int) -> UHSCM:
+        """Instantiate a Table 2 UHSCM variant by row key."""
+        model = get_variant(key)(self.uhscm_config(n_bits), self.clip)
+        return model
+
+    # -- fitting ----------------------------------------------------------------
+
+    def fit(self, name: str, n_bits: int, use_cache: bool = True) -> FitResult:
+        """Fit a method and encode query + database splits (cached)."""
+        key = (name, n_bits)
+        if use_cache and key in self._cache:
+            return self._cache[key]
+        method = self.build_method(name, n_bits)
+        timer = Timer()
+        with timer:
+            method.fit(self.dataset.train_images)
+        result = FitResult(
+            method=name,
+            n_bits=n_bits,
+            query_codes=method.encode(self.dataset.query_images),
+            database_codes=method.encode(self.dataset.database_images),
+            fit_seconds=timer.elapsed,
+        )
+        if use_cache:
+            self._cache[key] = result
+        return result
+
+    def evaluate(self, fit: FitResult, **kwargs) -> RetrievalReport:
+        """Run the full §4.2 evaluation on a fit's codes."""
+        return evaluate_codes(
+            fit.query_codes,
+            fit.database_codes,
+            self.dataset.query_labels,
+            self.dataset.database_labels,
+            **kwargs,
+        )
+
+    def evaluate_model(self, model, **kwargs) -> RetrievalReport:
+        """Evaluate an already-fitted model object (used by Table 2 / Fig 4)."""
+        return evaluate_codes(
+            model.encode(self.dataset.query_images),
+            model.encode(self.dataset.database_images),
+            self.dataset.query_labels,
+            self.dataset.database_labels,
+            **kwargs,
+        )
+
+
+def make_contexts(
+    datasets: tuple[str, ...],
+    scale: float,
+    seed: int = 0,
+    epochs: int | None = None,
+) -> dict[str, ExperimentContext]:
+    """Build one context per dataset."""
+    if not datasets:
+        raise ConfigurationError("no datasets requested")
+    return {
+        name: ExperimentContext(name, scale=scale, seed=seed, epochs=epochs)
+        for name in datasets
+    }

@@ -1,0 +1,101 @@
+"""Array-level building blocks for convolution layers.
+
+``im2col``/``col2im`` express 2-D convolution and its gradients as matrix
+multiplications, which is the standard way to get acceptable CPU performance
+out of a pure-numpy framework.
+Arrays follow the NCHW layout throughout.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+
+def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    """Spatial output extent of a convolution/pooling window."""
+    out = (size + 2 * padding - kernel) // stride + 1
+    if out <= 0:
+        raise ShapeError(
+            f"window (kernel={kernel}, stride={stride}, padding={padding}) "
+            f"does not fit input extent {size}"
+        )
+    return out
+
+
+def pad_nchw(x: np.ndarray, padding: int) -> np.ndarray:
+    """Zero-pad height and width of an NCHW tensor."""
+    if padding == 0:
+        return x
+    return np.pad(
+        x, ((0, 0), (0, 0), (padding, padding), (padding, padding)), mode="constant"
+    )
+
+
+def im2col(
+    x: np.ndarray, kernel: int, stride: int = 1, padding: int = 0
+) -> tuple[np.ndarray, int, int]:
+    """Unfold an NCHW tensor into patch columns.
+
+    Returns ``(cols, out_h, out_w)`` where ``cols`` has shape
+    ``(n * out_h * out_w, c * kernel * kernel)`` — one row per output pixel,
+    one column per weight in the receptive field.
+    """
+    if x.ndim != 4:
+        raise ShapeError(f"im2col expects NCHW input, got shape {x.shape}")
+    n, c, h, w = x.shape
+    out_h = conv_output_size(h, kernel, stride, padding)
+    out_w = conv_output_size(w, kernel, stride, padding)
+    x_p = pad_nchw(x, padding)
+
+    # Gather strided views: shape (n, c, kernel, kernel, out_h, out_w).
+    s = x_p.strides
+    windows = np.lib.stride_tricks.as_strided(
+        x_p,
+        shape=(n, c, kernel, kernel, out_h, out_w),
+        strides=(s[0], s[1], s[2], s[3], s[2] * stride, s[3] * stride),
+        writeable=False,
+    )
+    cols = windows.transpose(0, 4, 5, 1, 2, 3).reshape(
+        n * out_h * out_w, c * kernel * kernel
+    )
+    return np.ascontiguousarray(cols), out_h, out_w
+
+
+def col2im(
+    cols: np.ndarray,
+    x_shape: tuple[int, int, int, int],
+    kernel: int,
+    stride: int = 1,
+    padding: int = 0,
+) -> np.ndarray:
+    """Fold patch columns back into an NCHW tensor, summing overlaps.
+
+    This is the exact adjoint of :func:`im2col`, which makes it the gradient
+    of the unfolding operation.
+    """
+    n, c, h, w = x_shape
+    out_h = conv_output_size(h, kernel, stride, padding)
+    out_w = conv_output_size(w, kernel, stride, padding)
+    expected_rows = n * out_h * out_w
+    expected_cols = c * kernel * kernel
+    if cols.shape != (expected_rows, expected_cols):
+        raise ShapeError(
+            f"cols shape {cols.shape} incompatible with x_shape {x_shape}; "
+            f"expected {(expected_rows, expected_cols)}"
+        )
+
+    windows = cols.reshape(n, out_h, out_w, c, kernel, kernel).transpose(
+        0, 3, 4, 5, 1, 2
+    )
+    h_p, w_p = h + 2 * padding, w + 2 * padding
+    x_p = np.zeros((n, c, h_p, w_p), dtype=cols.dtype)
+    for ki in range(kernel):
+        h_end = ki + stride * out_h
+        for kj in range(kernel):
+            w_end = kj + stride * out_w
+            x_p[:, :, ki:h_end:stride, kj:w_end:stride] += windows[:, :, ki, kj]
+    if padding == 0:
+        return x_p
+    return x_p[:, :, padding:-padding, padding:-padding]

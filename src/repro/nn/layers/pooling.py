@@ -1,0 +1,81 @@
+"""Spatial pooling layers over NCHW tensors."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.nn.functional import conv_output_size, im2col
+from repro.nn.module import Module
+
+
+class MaxPool2d(Module):
+    """Non-overlapping-by-default max pooling (stride defaults to kernel)."""
+
+    def __init__(self, kernel_size: int, stride: int | None = None) -> None:
+        super().__init__()
+        if kernel_size <= 0:
+            raise ShapeError(f"kernel_size must be positive: {kernel_size}")
+        self.kernel_size = kernel_size
+        self.stride = stride if stride is not None else kernel_size
+        self._argmax: np.ndarray | None = None
+        self._x_shape: tuple[int, int, int, int] | None = None
+        self._out_hw: tuple[int, int] | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 4:
+            raise ShapeError(f"MaxPool2d expects NCHW input, got {x.shape}")
+        n, c, h, w = x.shape
+        k, s = self.kernel_size, self.stride
+        out_h = conv_output_size(h, k, s, 0)
+        out_w = conv_output_size(w, k, s, 0)
+        # Treat channels independently by folding them into the batch axis.
+        cols, _, _ = im2col(x.reshape(n * c, 1, h, w), k, s, 0)  # (ncohow, k*k)
+        argmax = cols.argmax(axis=1)
+        out = cols[np.arange(cols.shape[0]), argmax]
+        self._argmax = argmax
+        self._x_shape = x.shape
+        self._out_hw = (out_h, out_w)
+        return out.reshape(n, c, out_h, out_w)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._argmax is None or self._x_shape is None or self._out_hw is None:
+            raise RuntimeError("backward called before forward")
+        n, c, h, w = self._x_shape
+        out_h, out_w = self._out_hw
+        k, s = self.kernel_size, self.stride
+        grad = np.asarray(grad_output, dtype=np.float64).reshape(-1)
+        if grad.size != n * c * out_h * out_w:
+            raise ShapeError(
+                f"grad_output has {grad.size} elements, expected "
+                f"{n * c * out_h * out_w}"
+            )
+        from repro.nn.functional import col2im
+
+        grad_cols = np.zeros((n * c * out_h * out_w, k * k), dtype=np.float64)
+        grad_cols[np.arange(grad.size), self._argmax] = grad
+        grad_x = col2im(grad_cols, (n * c, 1, h, w), k, s, 0)
+        return grad_x.reshape(n, c, h, w)
+
+
+class GlobalAvgPool2d(Module):
+    """Average over spatial dimensions: (n, c, h, w) -> (n, c)."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._x_shape: tuple[int, int, int, int] | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 4:
+            raise ShapeError(f"GlobalAvgPool2d expects NCHW input, got {x.shape}")
+        self._x_shape = x.shape
+        return x.mean(axis=(2, 3))
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._x_shape is None:
+            raise RuntimeError("backward called before forward")
+        n, c, h, w = self._x_shape
+        grad = np.asarray(grad_output, dtype=np.float64).reshape(n, c, 1, 1)
+        return np.broadcast_to(grad / (h * w), self._x_shape).copy()

@@ -1,0 +1,131 @@
+"""Base class for neural-network building blocks.
+
+The framework uses explicit layer-wise backpropagation rather than a taped
+autograd graph: each :class:`Module` caches what it needs during ``forward``
+and implements ``backward(grad_output) -> grad_input``, accumulating parameter
+gradients as a side effect.  This keeps every layer independently unit-testable
+against numerical gradients.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+from repro.nn.parameter import Parameter
+
+
+class Module:
+    """A differentiable computation with optional trainable parameters."""
+
+    def __init__(self) -> None:
+        self.training = True
+        self._parameters: list[Parameter] = []
+        self._children: list[Module] = []
+        self._buffers: dict[str, np.ndarray] = {}
+
+    # -- construction ------------------------------------------------------
+
+    def register_parameter(self, param: Parameter) -> Parameter:
+        self._parameters.append(param)
+        return param
+
+    def register_buffer(self, name: str, value: np.ndarray) -> np.ndarray:
+        """Track non-trainable state (e.g. batch-norm running statistics)
+        so it is saved/restored by ``state_dict``."""
+        self._buffers[name] = np.asarray(value, dtype=np.float64)
+        return self._buffers[name]
+
+    def register_child(self, module: "Module") -> "Module":
+        self._children.append(module)
+        return module
+
+    # -- computation -------------------------------------------------------
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+    # -- parameter access --------------------------------------------------
+
+    def parameters(self) -> Iterator[Parameter]:
+        """Yield this module's parameters, then every child's, recursively."""
+        yield from self._parameters
+        for child in self._children:
+            yield from child.parameters()
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    def num_parameters(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+    # -- mode switching ----------------------------------------------------
+
+    def train(self, mode: bool = True) -> "Module":
+        self.training = mode
+        for child in self._children:
+            child.train(mode)
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    # -- (de)serialization -------------------------------------------------
+
+    def _modules_recursive(self) -> list["Module"]:
+        out = [self]
+        for child in self._children:
+            out.extend(child._modules_recursive())
+        return out
+
+    def named_buffers(self) -> dict[str, np.ndarray]:
+        """All buffers in this module tree, keyed by module index + name."""
+        out: dict[str, np.ndarray] = {}
+        for i, module in enumerate(self._modules_recursive()):
+            for name, value in module._buffers.items():
+                out[f"{i}:{name}"] = value
+        return out
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Flat mapping of parameters and buffers for checkpointing."""
+        state = {
+            f"{i}:{p.name}": p.data.copy()
+            for i, p in enumerate(self.parameters())
+        }
+        for key, value in self.named_buffers().items():
+            state[f"buf:{key}"] = value.copy()
+        return state
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        params = list(self.parameters())
+        buffers = self.named_buffers()
+        expected = len(params) + len(buffers)
+        if len(state) != expected:
+            raise ValueError(
+                f"state has {len(state)} entries, model expects {expected} "
+                f"({len(params)} parameters + {len(buffers)} buffers)"
+            )
+        for i, p in enumerate(params):
+            key = f"{i}:{p.name}"
+            if key not in state:
+                raise KeyError(f"missing parameter {key!r} in state dict")
+            value = np.asarray(state[key], dtype=np.float64)
+            if value.shape != p.data.shape:
+                raise ValueError(
+                    f"shape mismatch for {key!r}: {value.shape} vs {p.data.shape}"
+                )
+            p.data[...] = value
+        for i, module in enumerate(self._modules_recursive()):
+            for name in module._buffers:
+                key = f"buf:{i}:{name}"
+                if key not in state:
+                    raise KeyError(f"missing buffer {key!r} in state dict")
+                module._buffers[name][...] = state[key]

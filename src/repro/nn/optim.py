@@ -1,0 +1,108 @@
+"""Gradient-based optimizers.
+
+The paper trains with mini-batch SGD, momentum 0.9, fixed learning rate 0.006
+and weight decay 1e-5 (§4.1); :class:`SGD` implements exactly that update.
+:class:`Adam` is provided for the baseline methods that conventionally use it
+(e.g. the CIB-style contrastive baseline).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro.nn.parameter import Parameter
+
+
+class Optimizer:
+    """Base class holding the parameter list and shared bookkeeping."""
+
+    def __init__(self, parameters: Iterable[Parameter], learning_rate: float) -> None:
+        self.parameters = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer received no parameters")
+        if learning_rate <= 0:
+            raise ValueError(f"learning_rate must be > 0: {learning_rate}")
+        self.learning_rate = learning_rate
+
+    def zero_grad(self) -> None:
+        for p in self.parameters:
+            p.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """SGD with classical momentum and decoupled-from-nothing L2 weight decay.
+
+    The update matches the paper's setup: ``v <- momentum*v + (g + wd*w)``
+    then ``w <- w - lr*v``.  Parameters flagged ``weight_decay_enabled=False``
+    (batch-norm affine terms) skip the decay.
+    """
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        learning_rate: float = 0.006,
+        momentum: float = 0.9,
+        weight_decay: float = 1e-5,
+    ) -> None:
+        super().__init__(parameters, learning_rate)
+        if not 0 <= momentum < 1:
+            raise ValueError(f"momentum must be in [0, 1): {momentum}")
+        if weight_decay < 0:
+            raise ValueError(f"weight_decay must be >= 0: {weight_decay}")
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        for p, v in zip(self.parameters, self._velocity):
+            grad = p.grad
+            if self.weight_decay > 0 and p.weight_decay_enabled:
+                grad = grad + self.weight_decay * p.data
+            v *= self.momentum
+            v += grad
+            p.data -= self.learning_rate * v
+
+
+class Adam(Optimizer):
+    """Adam with bias correction (Kingma & Ba, 2015)."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        learning_rate: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(parameters, learning_rate)
+        beta1, beta2 = betas
+        if not (0 <= beta1 < 1 and 0 <= beta2 < 1):
+            raise ValueError(f"betas must be in [0, 1): {betas}")
+        self.betas = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m = [np.zeros_like(p.data) for p in self.parameters]
+        self._v = [np.zeros_like(p.data) for p in self.parameters]
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        beta1, beta2 = self.betas
+        bias1 = 1.0 - beta1**self._t
+        bias2 = 1.0 - beta2**self._t
+        for p, m, v in zip(self.parameters, self._m, self._v):
+            grad = p.grad
+            if self.weight_decay > 0 and p.weight_decay_enabled:
+                grad = grad + self.weight_decay * p.data
+            m *= beta1
+            m += (1 - beta1) * grad
+            v *= beta2
+            v += (1 - beta2) * grad**2
+            m_hat = m / bias1
+            v_hat = v / bias2
+            p.data -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.eps)

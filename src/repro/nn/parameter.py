@@ -1,0 +1,42 @@
+"""Trainable parameter container for the :mod:`repro.nn` framework."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Parameter:
+    """A named trainable array together with its accumulated gradient.
+
+    Layers create parameters in their constructors; optimizers consume
+    ``(data, grad)`` pairs and write updated values back into ``data``.
+    ``weight_decay_enabled`` lets layers exempt parameters (e.g. batch-norm
+    scale/shift) from L2 regularization, matching common practice.
+    """
+
+    __slots__ = ("name", "data", "grad", "weight_decay_enabled")
+
+    def __init__(
+        self,
+        data: np.ndarray,
+        name: str = "param",
+        weight_decay_enabled: bool = True,
+    ) -> None:
+        self.data = np.asarray(data, dtype=np.float64)
+        self.grad = np.zeros_like(self.data)
+        self.name = name
+        self.weight_decay_enabled = weight_decay_enabled
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def size(self) -> int:
+        return int(self.data.size)
+
+    def zero_grad(self) -> None:
+        self.grad[...] = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Parameter(name={self.name!r}, shape={self.shape})"

@@ -1,0 +1,150 @@
+"""Hamming retrieval engine and one-call evaluation harness.
+
+:class:`HammingIndex` is the production-shaped piece: bit-packed storage,
+top-k Hamming ranking and radius lookup — what a deployed image-search
+system built on these hash codes would run.  :func:`evaluate_hashing` is the
+experiment-shaped piece: given a fitted hashing method and a dataset it
+computes every §4.2 metric in one pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+import numpy as np
+
+from repro.errors import NotFittedError, ShapeError
+from repro.retrieval.hamming import (
+    PackedCodes,
+    hamming_distance_matrix,
+    pack_codes,
+    packed_hamming_distance,
+)
+from repro.retrieval.metrics import (
+    PAPER_MAP_DEPTH,
+    PAPER_PN_POINTS,
+    PRCurve,
+    mean_average_precision_from_distances,
+    pr_curve_hamming,
+    precision_at_n,
+)
+from repro.retrieval.protocol import relevance_matrix
+
+
+class Hasher(Protocol):
+    """Anything that maps images to ±1 codes (UHSCM and all baselines)."""
+
+    def encode(self, images: np.ndarray) -> np.ndarray:  # pragma: no cover
+        ...
+
+
+class HammingIndex:
+    """Bit-packed Hamming nearest-neighbour index."""
+
+    def __init__(self, n_bits: int) -> None:
+        if n_bits <= 0:
+            raise ShapeError(f"n_bits must be positive: {n_bits}")
+        self.n_bits = n_bits
+        self._packed: PackedCodes | None = None
+
+    def add(self, codes: np.ndarray) -> "HammingIndex":
+        """Replace index contents with the given ±1 codes."""
+        if codes.shape[1] != self.n_bits:
+            raise ShapeError(
+                f"expected {self.n_bits}-bit codes, got {codes.shape[1]}"
+            )
+        self._packed = pack_codes(codes)
+        return self
+
+    def __len__(self) -> int:
+        return 0 if self._packed is None else len(self._packed)
+
+    @property
+    def storage_bytes(self) -> int:
+        """Bytes used to store the database codes."""
+        return 0 if self._packed is None else self._packed.nbytes
+
+    def _require_built(self) -> PackedCodes:
+        if self._packed is None:
+            raise NotFittedError("index is empty; call add() first")
+        return self._packed
+
+    def search(
+        self, query_codes: np.ndarray, top_k: int = 10
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Top-k Hamming ranking: returns (indices, distances).
+
+        Ties break by database index (stable), matching the metric module.
+        """
+        packed_db = self._require_built()
+        if top_k <= 0 or top_k > len(packed_db):
+            raise ShapeError(
+                f"top_k must be in [1, {len(packed_db)}], got {top_k}"
+            )
+        distances = packed_hamming_distance(pack_codes(query_codes), packed_db)
+        idx = np.argsort(distances, axis=1, kind="stable")[:, :top_k]
+        return idx, np.take_along_axis(distances, idx, axis=1)
+
+    def radius_search(self, query_codes: np.ndarray, radius: int) -> list[np.ndarray]:
+        """Hash-lookup: all database ids within Hamming radius per query."""
+        packed_db = self._require_built()
+        if not 0 <= radius <= self.n_bits:
+            raise ShapeError(f"radius must be in [0, {self.n_bits}], got {radius}")
+        distances = packed_hamming_distance(pack_codes(query_codes), packed_db)
+        return [np.flatnonzero(row <= radius) for row in distances]
+
+
+@dataclass(frozen=True)
+class RetrievalReport:
+    """Every §4.2 metric for one (method, dataset, bit-length) cell."""
+
+    map: float
+    precision_at_n: dict[int, float]
+    pr_curve: PRCurve
+    n_bits: int
+
+    def __str__(self) -> str:
+        pn = ", ".join(f"P@{n}={v:.3f}" for n, v in self.precision_at_n.items())
+        return f"RetrievalReport(k={self.n_bits}, MAP={self.map:.3f}, {pn})"
+
+
+def evaluate_codes(
+    query_codes: np.ndarray,
+    db_codes: np.ndarray,
+    query_labels: np.ndarray,
+    db_labels: np.ndarray,
+    top_n: int = PAPER_MAP_DEPTH,
+    pn_points: tuple[int, ...] = PAPER_PN_POINTS,
+) -> RetrievalReport:
+    """Full evaluation of precomputed hash codes."""
+    relevance = relevance_matrix(query_labels, db_labels)
+    distances = hamming_distance_matrix(query_codes, db_codes)
+    usable_points = tuple(p for p in pn_points if p <= db_codes.shape[0])
+    if not usable_points:
+        usable_points = (min(pn_points[0], db_codes.shape[0]),)
+    return RetrievalReport(
+        map=mean_average_precision_from_distances(
+            distances, relevance, min(top_n, db_codes.shape[0])
+        ),
+        precision_at_n=precision_at_n(distances, relevance, usable_points),
+        pr_curve=pr_curve_hamming(query_codes, db_codes, relevance),
+        n_bits=query_codes.shape[1],
+    )
+
+
+def evaluate_hashing(method: Hasher, dataset, **kwargs) -> RetrievalReport:
+    """Encode a dataset's query/database splits with ``method`` and evaluate.
+
+    ``dataset`` is a :class:`~repro.datasets.base.HashingDataset`; extra
+    keyword arguments pass through to :func:`evaluate_codes`.
+    """
+    query_codes = method.encode(dataset.query_images)
+    db_codes = method.encode(dataset.database_images)
+    return evaluate_codes(
+        query_codes,
+        db_codes,
+        dataset.query_labels,
+        dataset.database_labels,
+        **kwargs,
+    )

@@ -1,0 +1,143 @@
+"""Retrieval quality metrics: MAP@n, P@N curves, Hamming-radius PR curves.
+
+These implement the paper's three evaluation metrics (§4.2):
+
+- **MAP** with top-n truncation (Eq. 12; the paper uses n = 5000),
+- **P@N** — precision among the top-N Hamming-ranked results,
+- **PR curve** — precision/recall of hash-lookup as the Hamming radius
+  sweeps 0..k (Figure 3's protocol).
+
+All ranking uses stable sorts so ties in Hamming distance break by database
+index, making results deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.retrieval.hamming import hamming_distance_matrix
+
+#: The paper's MAP truncation depth (§4.2: "we set n as 5000").
+PAPER_MAP_DEPTH = 5000
+
+#: P@N evaluation points used in Figure 2.
+PAPER_PN_POINTS: tuple[int, ...] = (100, 300, 500, 700, 900, 1000)
+
+
+def _check_rank_inputs(distances: np.ndarray, relevance: np.ndarray) -> None:
+    if distances.shape != relevance.shape:
+        raise ShapeError(
+            f"distances {distances.shape} and relevance {relevance.shape} differ"
+        )
+    if distances.ndim != 2:
+        raise ShapeError(f"expected 2-D matrices, got {distances.shape}")
+
+
+def average_precision(ranked_relevance: np.ndarray, top_n: int) -> float:
+    """AP@n of one ranked relevance vector (paper Eq. 12).
+
+    ``AP = Σ_i [I(i)/N · Σ_{j<=i} I(j)/i]`` over the top ``n`` results,
+    where ``N`` is the number of relevant items among them.  Queries with no
+    relevant item in the top n score 0 (the usual convention).
+    """
+    rel = np.asarray(ranked_relevance, dtype=np.float64)[:top_n]
+    n_rel = rel.sum()
+    if n_rel == 0:
+        return 0.0
+    cum_precision = np.cumsum(rel) / np.arange(1, rel.size + 1)
+    return float((cum_precision * rel).sum() / n_rel)
+
+
+def mean_average_precision(
+    query_codes: np.ndarray,
+    db_codes: np.ndarray,
+    relevance: np.ndarray,
+    top_n: int = PAPER_MAP_DEPTH,
+) -> float:
+    """MAP@n over Hamming-ranked retrieval (the paper's headline metric)."""
+    distances = hamming_distance_matrix(query_codes, db_codes)
+    return mean_average_precision_from_distances(distances, relevance, top_n)
+
+
+def mean_average_precision_from_distances(
+    distances: np.ndarray,
+    relevance: np.ndarray,
+    top_n: int = PAPER_MAP_DEPTH,
+) -> float:
+    """MAP@n given a precomputed distance matrix."""
+    _check_rank_inputs(distances, relevance)
+    order = np.argsort(distances, axis=1, kind="stable")
+    ranked = np.take_along_axis(relevance.astype(np.float64), order, axis=1)
+    aps = [average_precision(row, top_n) for row in ranked]
+    return float(np.mean(aps))
+
+
+def precision_at_n(
+    distances: np.ndarray,
+    relevance: np.ndarray,
+    points: tuple[int, ...] = PAPER_PN_POINTS,
+) -> dict[int, float]:
+    """Mean precision among the top-N results for each N (Figure 2)."""
+    _check_rank_inputs(distances, relevance)
+    max_n = max(points)
+    if max_n > distances.shape[1]:
+        raise ShapeError(
+            f"P@{max_n} requested but database has {distances.shape[1]} items"
+        )
+    order = np.argsort(distances, axis=1, kind="stable")[:, :max_n]
+    ranked = np.take_along_axis(relevance.astype(np.float64), order, axis=1)
+    cum = np.cumsum(ranked, axis=1)
+    return {
+        n: float((cum[:, n - 1] / n).mean())
+        for n in points
+    }
+
+
+@dataclass(frozen=True)
+class PRCurve:
+    """Precision/recall at each Hamming radius 0..k (Figure 3's protocol).
+
+    ``precision[r]`` / ``recall[r]`` aggregate retrieval within radius ``r``
+    micro-averaged over queries (total relevant retrieved / total retrieved),
+    which keeps small radii well-defined even when some queries retrieve
+    nothing.
+    """
+
+    radii: np.ndarray
+    precision: np.ndarray
+    recall: np.ndarray
+
+    def __post_init__(self) -> None:
+        if not (self.radii.shape == self.precision.shape == self.recall.shape):
+            raise ShapeError("PRCurve arrays must share one shape")
+
+
+def pr_curve_hamming(
+    query_codes: np.ndarray,
+    db_codes: np.ndarray,
+    relevance: np.ndarray,
+) -> PRCurve:
+    """PR curve from a full Hamming-radius sweep (0..k, step 1)."""
+    distances = hamming_distance_matrix(query_codes, db_codes).astype(np.int64)
+    _check_rank_inputs(distances, relevance)
+    k = query_codes.shape[1]
+    rel = relevance.astype(bool)
+    total_relevant = rel.sum()
+    if total_relevant == 0:
+        raise ShapeError("relevance matrix has no relevant pairs")
+
+    # Histogram distances once, split by relevance, then cumulate over radius.
+    bins = np.arange(k + 2)
+    relevant_hist = np.histogram(distances[rel], bins=bins)[0]
+    all_hist = np.histogram(distances, bins=bins)[0]
+    relevant_cum = np.cumsum(relevant_hist).astype(np.float64)
+    all_cum = np.cumsum(all_hist).astype(np.float64)
+
+    precision = np.divide(
+        relevant_cum, all_cum, out=np.zeros_like(relevant_cum), where=all_cum > 0
+    )
+    recall = relevant_cum / float(total_relevant)
+    return PRCurve(radii=np.arange(k + 1), precision=precision, recall=recall)

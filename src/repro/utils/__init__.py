@@ -1,0 +1,40 @@
+"""Shared utilities: deterministic RNG plumbing, stable math, timing, tables."""
+
+from repro.utils.mathops import (
+    cosine_similarity_matrix,
+    l2_normalize,
+    pairwise_inner,
+    sign,
+    softmax,
+    stable_exp,
+)
+from repro.utils.rng import RngMixin, as_generator, spawn
+from repro.utils.tables import format_float, render_table
+from repro.utils.timer import Timer
+from repro.utils.validation import (
+    check_array,
+    check_binary_codes,
+    check_in_range,
+    check_positive,
+    check_probability_rows,
+)
+
+__all__ = [
+    "RngMixin",
+    "Timer",
+    "as_generator",
+    "check_array",
+    "check_binary_codes",
+    "check_in_range",
+    "check_positive",
+    "check_probability_rows",
+    "cosine_similarity_matrix",
+    "format_float",
+    "l2_normalize",
+    "pairwise_inner",
+    "render_table",
+    "sign",
+    "softmax",
+    "spawn",
+    "stable_exp",
+]

@@ -1,0 +1,82 @@
+"""Numerically stable array math shared across the library.
+
+These helpers implement the primitive operations the paper's equations rely
+on: temperature softmax (Eq. 2), cosine-similarity matrices (Eq. 3/6), the
+sign function used to binarize hash codes, and safe L2 normalization.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+#: Elements with L2 norm below this are treated as zero vectors when
+#: normalizing, to avoid division blow-ups.
+_NORM_EPS = 1e-12
+
+
+def stable_exp(x: np.ndarray) -> np.ndarray:
+    """Exponential with the max subtracted along the last axis.
+
+    Equivalent to ``exp(x - max(x))`` row-wise; the common factor cancels in
+    any softmax-style ratio, so downstream quotients are unchanged.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    shifted = x - np.max(x, axis=-1, keepdims=True)
+    return np.exp(shifted)
+
+
+def softmax(x: np.ndarray, temperature: float = 1.0, axis: int = -1) -> np.ndarray:
+    """Temperature softmax ``exp(t*x) / sum(exp(t*x))`` (paper Eq. 2).
+
+    The paper multiplies scores by τ (sharpening for τ > 1), so
+    ``temperature`` here is a multiplier, not a divisor.
+    """
+    if temperature <= 0:
+        raise ValueError(f"temperature must be positive, got {temperature}")
+    x = np.asarray(x, dtype=np.float64) * float(temperature)
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    return e / np.sum(e, axis=axis, keepdims=True)
+
+
+def l2_normalize(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Scale rows (along ``axis``) to unit L2 norm; zero rows stay zero."""
+    x = np.asarray(x, dtype=np.float64)
+    norms = np.linalg.norm(x, axis=axis, keepdims=True)
+    return x / np.maximum(norms, _NORM_EPS)
+
+
+def pairwise_inner(a: np.ndarray, b: np.ndarray | None = None) -> np.ndarray:
+    """Dense inner-product matrix ``a @ b.T`` with shape checking."""
+    a = np.asarray(a, dtype=np.float64)
+    b = a if b is None else np.asarray(b, dtype=np.float64)
+    if a.ndim != 2 or b.ndim != 2:
+        raise ShapeError(f"expected 2-D arrays, got shapes {a.shape} and {b.shape}")
+    if a.shape[1] != b.shape[1]:
+        raise ShapeError(
+            f"dimension mismatch: {a.shape[1]} vs {b.shape[1]} feature columns"
+        )
+    return a @ b.T
+
+
+def cosine_similarity_matrix(a: np.ndarray, b: np.ndarray | None = None) -> np.ndarray:
+    """Pairwise cosine similarity (paper Eq. 3 and Eq. 6).
+
+    Rows of ``a`` (and ``b``) are treated as vectors; zero vectors produce
+    zero similarity instead of NaN.
+    """
+    a_n = l2_normalize(np.atleast_2d(a))
+    b_n = a_n if b is None else l2_normalize(np.atleast_2d(b))
+    sims = pairwise_inner(a_n, b_n)
+    return np.clip(sims, -1.0, 1.0)
+
+
+def sign(x: np.ndarray) -> np.ndarray:
+    """Element-wise sign in {-1, +1}, exactly the paper's ``sgn``:
+    "returns 1 if the input is positive and returns -1 otherwise"
+    (so zero maps to -1)."""
+    x = np.asarray(x)
+    out = np.where(x > 0, 1.0, -1.0)
+    return out.astype(np.float64)

@@ -1,0 +1,45 @@
+"""Deterministic random-number plumbing.
+
+Every stochastic component in the library accepts either an integer seed or a
+:class:`numpy.random.Generator`.  :func:`as_generator` normalizes both into a
+``Generator`` and :func:`spawn` derives independent child generators so that
+subsystems (dataset generation, network init, mini-batch sampling, ...) do not
+perturb each other's streams when one of them changes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+SeedLike = "int | np.random.Generator | None"
+
+
+def as_generator(seed: int | np.random.Generator | None = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    ``None`` produces a fresh nondeterministic generator; an ``int`` produces a
+    deterministic one; an existing ``Generator`` is returned unchanged.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn(rng: np.random.Generator, n: int) -> list[np.random.Generator]:
+    """Derive ``n`` statistically independent child generators from ``rng``."""
+    if n < 0:
+        raise ValueError(f"cannot spawn a negative number of generators: {n}")
+    seeds = rng.integers(0, 2**63 - 1, size=n, dtype=np.int64)
+    return [np.random.default_rng(int(s)) for s in seeds]
+
+
+class RngMixin:
+    """Mixin giving a class a lazily created, seed-controlled ``self.rng``."""
+
+    def __init__(self, seed: int | np.random.Generator | None = None) -> None:
+        self._rng = as_generator(seed)
+
+    @property
+    def rng(self) -> np.random.Generator:
+        """The component's private random generator."""
+        return self._rng

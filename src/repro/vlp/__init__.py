@@ -1,0 +1,57 @@
+"""SimCLIP: the simulated vision-language pre-training substrate.
+
+Replaces the pre-trained CLIP checkpoint the paper downloads with a
+deterministic model over a generative :class:`~repro.vlp.world.SemanticWorld`
+(see DESIGN.md §2 for the substitution argument).
+"""
+
+from repro.vlp.clip import SimCLIP
+from repro.vlp.concepts import (
+    ALIASES,
+    CIFAR10_CLASSES,
+    COCO_80,
+    HYPERNYMS,
+    MIRFLICKR_24,
+    NUS_WIDE_21,
+    NUS_WIDE_81,
+    VOCABULARIES,
+    canonical,
+    canonical_set,
+    get_vocabulary,
+    union_vocabulary,
+)
+from repro.vlp.image_encoder import ImageEncoder
+from repro.vlp.prompt_tuning import PromptTuner, TunedPrompt, tuned_concept_scores
+from repro.vlp.prompts import PAPER_TEMPLATES, PromptTemplate, paper_template
+from repro.vlp.text_encoder import CAPTION_STOPWORDS, TextEncoder
+from repro.vlp.tokenizer import Vocabulary, tokenize
+from repro.vlp.world import SemanticWorld, WorldConfig
+
+__all__ = [
+    "ALIASES",
+    "CAPTION_STOPWORDS",
+    "CIFAR10_CLASSES",
+    "COCO_80",
+    "HYPERNYMS",
+    "ImageEncoder",
+    "MIRFLICKR_24",
+    "NUS_WIDE_21",
+    "NUS_WIDE_81",
+    "PAPER_TEMPLATES",
+    "PromptTemplate",
+    "PromptTuner",
+    "TunedPrompt",
+    "SemanticWorld",
+    "SimCLIP",
+    "TextEncoder",
+    "VOCABULARIES",
+    "Vocabulary",
+    "WorldConfig",
+    "canonical",
+    "canonical_set",
+    "get_vocabulary",
+    "paper_template",
+    "tokenize",
+    "tuned_concept_scores",
+    "union_vocabulary",
+]

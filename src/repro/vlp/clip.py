@@ -1,0 +1,86 @@
+"""SimCLIP — the simulated vision-language pre-training model.
+
+Implements the single contract the paper needs from CLIP (Eq. 1):
+
+    s_ij = F_VLP(x_i, t_j; Θ) ∈ [0, 1]
+
+an image-text similarity score that carries true-but-noisy concept signal.
+Scores are cosine similarities in the shared space mapped affinely to [0, 1],
+which matches the paper's statement that s_i ∈ [0, 1]^m.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.vlp.image_encoder import ImageEncoder
+from repro.vlp.prompts import PromptTemplate, paper_template
+from repro.vlp.text_encoder import TextEncoder
+from repro.vlp.world import SemanticWorld, WorldConfig
+
+
+class SimCLIP:
+    """Frozen, deterministic CLIP stand-in over a :class:`SemanticWorld`.
+
+    Parameters
+    ----------
+    world:
+        The generative world shared with the datasets.  Passing the *same*
+        world instance to datasets and SimCLIP is what simulates "CLIP was
+        pretrained on imagery like this dataset".
+    """
+
+    def __init__(self, world: SemanticWorld | None = None) -> None:
+        self.world = world or SemanticWorld(WorldConfig())
+        self.image_encoder = ImageEncoder(self.world)
+        self.text_encoder = TextEncoder(self.world)
+
+    # -- encoders ----------------------------------------------------------
+
+    def encode_images(self, images: np.ndarray) -> np.ndarray:
+        """Unit-norm image embeddings (n, D)."""
+        return self.image_encoder.encode(images)
+
+    def encode_texts(self, texts: list[str] | tuple[str, ...]) -> np.ndarray:
+        """Unit-norm text embeddings (m, D)."""
+        return self.text_encoder.encode_batch(list(texts))
+
+    def image_features(self, images: np.ndarray) -> np.ndarray:
+        """Raw (unnormalized) image features for the UHSCM_IF ablation."""
+        return self.image_encoder.features(images)
+
+    # -- Eq. 1 -------------------------------------------------------------
+
+    def similarity(self, images: np.ndarray, texts: list[str]) -> np.ndarray:
+        """Image-text score matrix S with s_ij ∈ [0, 1] (paper Eq. 1)."""
+        img = self.encode_images(images)
+        txt = self.encode_texts(texts)
+        cos = img @ txt.T
+        return (np.clip(cos, -1.0, 1.0) + 1.0) / 2.0
+
+    def score_concepts(
+        self,
+        images: np.ndarray,
+        concepts: list[str] | tuple[str, ...],
+        template: PromptTemplate | str | None = None,
+    ) -> np.ndarray:
+        """Scores of every image against every concept under a template.
+
+        This is the full §3.3.1 prompt-engineering path: concepts are
+        instantiated into texts via the template, then scored by Eq. 1.
+        """
+        if not concepts:
+            raise ConfigurationError("empty concept list")
+        template = resolve_template(template)
+        return self.similarity(images, template.format_all(list(concepts)))
+
+
+def resolve_template(template: PromptTemplate | str | None) -> PromptTemplate:
+    if template is None:
+        return paper_template("default")
+    if isinstance(template, PromptTemplate):
+        return template
+    if "{concept}" in template:
+        return PromptTemplate(template)
+    return paper_template(template)

@@ -1,0 +1,162 @@
+"""Concept vocabularies used by the paper.
+
+The paper's candidate concept set is the 81 NUS-WIDE category names (used for
+*all three* datasets), with the 80 MS COCO categories and their 153-name union
+as ablation vocabularies (Table 2 rows 1–2).  The lists below are the real
+published category names.
+
+``ALIASES`` maps surface variants to a canonical semantic identifier so the
+simulated world can treat e.g. ``birds`` (NUS-WIDE), ``bird`` (COCO) and the
+CIFAR10 class ``bird`` as the same underlying concept while keeping their
+*text* forms distinct (the VLP text encoder adds per-word alignment noise).
+"""
+
+from __future__ import annotations
+
+from repro.errors import VocabularyError
+
+#: The 81 NUS-WIDE concepts (Chua et al. 2009) — the paper's default
+#: candidate set for every dataset (§4.1).
+NUS_WIDE_81: tuple[str, ...] = (
+    "airport", "animal", "beach", "bear", "birds", "boats", "book", "bridge",
+    "buildings", "cars", "castle", "cat", "cityscape", "clouds", "computer",
+    "coral", "cow", "dancing", "dog", "earthquake", "elk", "fire", "fish",
+    "flags", "flowers", "food", "fox", "frost", "garden", "glacier", "grass",
+    "harbor", "horses", "house", "lake", "leaf", "map", "military", "moon",
+    "mountain", "nighttime", "ocean", "person", "plane", "plants", "police",
+    "protest", "railroad", "rainbow", "reflection", "road", "rocks",
+    "running", "sand", "sign", "sky", "snow", "soccer", "sports", "statue",
+    "street", "sun", "sunset", "surf", "swimmers", "tattoo", "temple",
+    "tiger", "tower", "town", "toy", "train", "tree", "valley", "vehicle",
+    "water", "waterfall", "wedding", "whales", "window", "zebra",
+)
+
+#: The 80 MS COCO object categories (Lin et al. 2014) — ablation vocabulary.
+COCO_80: tuple[str, ...] = (
+    "person", "bicycle", "car", "motorcycle", "airplane", "bus", "train",
+    "truck", "boat", "traffic light", "fire hydrant", "stop sign",
+    "parking meter", "bench", "bird", "cat", "dog", "horse", "sheep", "cow",
+    "elephant", "bear", "zebra", "giraffe", "backpack", "umbrella",
+    "handbag", "tie", "suitcase", "frisbee", "skis", "snowboard",
+    "sports ball", "kite", "baseball bat", "baseball glove", "skateboard",
+    "surfboard", "tennis racket", "bottle", "wine glass", "cup", "fork",
+    "knife", "spoon", "bowl", "banana", "apple", "sandwich", "orange",
+    "broccoli", "carrot", "hot dog", "pizza", "donut", "cake", "chair",
+    "couch", "potted plant", "bed", "dining table", "toilet", "tv",
+    "laptop", "mouse", "remote", "keyboard", "cell phone", "microwave",
+    "oven", "toaster", "sink", "refrigerator", "book", "clock", "vase",
+    "scissors", "teddy bear", "hair drier", "toothbrush",
+)
+
+#: CIFAR10 class names (single-label dataset).
+CIFAR10_CLASSES: tuple[str, ...] = (
+    "airplane", "automobile", "bird", "cat", "deer",
+    "dog", "frog", "horse", "ship", "truck",
+)
+
+#: The 21 most frequent NUS-WIDE classes used for retrieval evaluation (§4.1).
+NUS_WIDE_21: tuple[str, ...] = (
+    "animal", "beach", "buildings", "cars", "clouds", "flowers", "grass",
+    "lake", "mountain", "ocean", "person", "plants", "reflection", "road",
+    "rocks", "sky", "snow", "street", "sunset", "tree", "water",
+)
+
+#: The 24 MIRFlickr-25K potential labels.
+MIRFLICKR_24: tuple[str, ...] = (
+    "animals", "baby", "bird", "car", "clouds", "dog", "female", "flower",
+    "food", "indoor", "lake", "male", "night", "people", "plant life",
+    "portrait", "river", "sea", "sky", "structures", "sunset", "transport",
+    "tree", "water",
+)
+
+#: Surface form -> canonical semantic id.  Variants across vocabularies that
+#: denote the same visual concept share a canonical id.
+ALIASES: dict[str, str] = {
+    "birds": "bird",
+    "cars": "car",
+    "automobile": "car",
+    "horses": "horse",
+    "plane": "airplane",
+    "flowers": "flower",
+    "plants": "plant",
+    "plant life": "plant",
+    "potted plant": "plant",
+    "animals": "animal",
+    "people": "person",
+    "boats": "boat",
+    "ship": "boat",
+    "sea": "ocean",
+    "whales": "whale",
+    "swimmers": "swimmer",
+    "buildings": "building",
+    "structures": "building",
+    "rocks": "rock",
+    "flags": "flag",
+    "nighttime": "night",
+    "transport": "vehicle",
+}
+
+#: Hypernyms: broad concepts whose world direction is the mean of their
+#: members' directions.  These are exactly the concepts that tend to win the
+#: argmax for a large share of images, triggering the paper's f(c) > 0.5 n
+#: discard rule.
+HYPERNYMS: dict[str, tuple[str, ...]] = {
+    "animal": ("cat", "dog", "bird", "horse", "cow", "bear", "zebra",
+               "tiger", "fox", "elk", "whale", "fish", "deer", "frog",
+               "sheep", "elephant", "giraffe"),
+    "vehicle": ("car", "truck", "bus", "train", "airplane", "boat",
+                "bicycle", "motorcycle"),
+    "plant": ("tree", "flower", "grass", "leaf", "garden"),
+    "sports": ("soccer", "running", "surf", "dancing", "skateboard",
+               "snowboard", "frisbee", "kite"),
+    "food": ("banana", "apple", "sandwich", "orange", "broccoli", "carrot",
+             "pizza", "cake", "donut"),
+    "water": ("ocean", "lake", "river", "waterfall", "harbor", "surf"),
+}
+
+
+def union_vocabulary(*vocabularies: tuple[str, ...]) -> tuple[str, ...]:
+    """Order-preserving union of concept name tuples (paper's nus&coco set).
+
+    The NUS-WIDE(81) ∪ COCO(80) union has 153 distinct names, matching the
+    count reported in ablation 4.4.1 (8 names appear in both lists).
+    """
+    seen: set[str] = set()
+    merged: list[str] = []
+    for vocab in vocabularies:
+        for name in vocab:
+            if name not in seen:
+                seen.add(name)
+                merged.append(name)
+    return tuple(merged)
+
+
+def canonical(name: str) -> str:
+    """Canonical semantic id for a concept surface form."""
+    cleaned = name.strip().lower()
+    if not cleaned:
+        raise VocabularyError("empty concept name")
+    return ALIASES.get(cleaned, cleaned)
+
+
+def canonical_set(names: tuple[str, ...] | list[str]) -> frozenset[str]:
+    """Canonical ids covered by a vocabulary."""
+    return frozenset(canonical(n) for n in names)
+
+
+#: Named registry used by config/CLI surfaces.
+VOCABULARIES: dict[str, tuple[str, ...]] = {
+    "nuswide81": NUS_WIDE_81,
+    "coco80": COCO_80,
+    "nus&coco": union_vocabulary(NUS_WIDE_81, COCO_80),
+}
+
+
+def get_vocabulary(name: str) -> tuple[str, ...]:
+    """Look up a registered candidate-concept vocabulary by name."""
+    key = name.strip().lower()
+    if key not in VOCABULARIES:
+        raise VocabularyError(
+            f"unknown vocabulary {name!r}; registered: {sorted(VOCABULARIES)}"
+        )
+    return VOCABULARIES[key]

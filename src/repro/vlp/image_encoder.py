@@ -1,0 +1,34 @@
+"""Simulated VLP image encoder.
+
+A thin wrapper over :meth:`SemanticWorld.encode_pixels` (the world's
+"pretrained" approximate render inverse) that L2-normalizes outputs, matching
+CLIP's unit-sphere image embeddings.  Also exposes the *unnormalized* features
+used by the ``UHSCM_IF`` ablation (raw CLIP image features as similarity
+input) and by the simulated "pretrained VGG19" feature pipeline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.mathops import l2_normalize
+from repro.vlp.world import SemanticWorld
+
+
+class ImageEncoder:
+    """Deterministic image tower over a :class:`SemanticWorld`."""
+
+    def __init__(self, world: SemanticWorld) -> None:
+        self.world = world
+
+    @property
+    def embedding_dim(self) -> int:
+        return self.world.config.latent_dim
+
+    def features(self, images: np.ndarray) -> np.ndarray:
+        """Unnormalized semantic features, shape (n, D)."""
+        return self.world.encode_pixels(images)
+
+    def encode(self, images: np.ndarray) -> np.ndarray:
+        """Unit-norm image embeddings, shape (n, D)."""
+        return l2_normalize(self.features(images))

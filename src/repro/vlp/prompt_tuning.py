@@ -1,0 +1,129 @@
+"""CoOp-style continuous prompt tuning (extension feature).
+
+The paper's related-work section highlights CoOp [Zhou et al. 2021], which
+replaces the hand-written template with *learned context vectors*.  This
+module implements the unsupervised analogue for UHSCM: learn a context
+vector ``v`` such that prompts ``encode(concept) + v`` maximize the margin
+between each training image's best and average concept scores — sharpening
+the mined distributions without any labels.
+
+This is an extension beyond the paper's experiments (its §2.1 motivates it);
+``benchmarks/bench_ablation_prompt_tuning.py`` measures its effect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.utils.mathops import l2_normalize, softmax
+from repro.vlp.clip import SimCLIP, resolve_template
+from repro.vlp.prompts import PromptTemplate
+
+
+@dataclass
+class TunedPrompt:
+    """A learned additive context vector for the text tower."""
+
+    context: np.ndarray
+    base_template: PromptTemplate
+    history: list[float]
+
+    def encode_concepts(
+        self, clip: SimCLIP, concepts: list[str] | tuple[str, ...]
+    ) -> np.ndarray:
+        """Unit-norm tuned text embeddings for the given concepts."""
+        base = clip.encode_texts(self.base_template.format_all(list(concepts)))
+        return l2_normalize(base + self.context)
+
+
+class PromptTuner:
+    """Learns a shared context vector by coordinate-free gradient ascent.
+
+    Objective (maximized): mean over images of
+    ``max_j s_ij − mean_j s_ij`` where ``s`` are image-text cosines with the
+    tuned prompts — i.e. make each image's dominant concept stand out.
+    Optimized with finite-difference-free analytic gradients w.r.t. the
+    context vector (the text embeddings are linear in the context before the
+    final normalization, which we fold into the step size).
+    """
+
+    def __init__(
+        self,
+        clip: SimCLIP,
+        template: PromptTemplate | str | None = None,
+        learning_rate: float = 0.05,
+        n_steps: int = 30,
+        temperature: float = 20.0,
+    ) -> None:
+        if learning_rate <= 0 or n_steps <= 0 or temperature <= 0:
+            raise ConfigurationError(
+                "learning_rate, n_steps and temperature must be positive"
+            )
+        self.clip = clip
+        self.template = resolve_template(template)
+        self.learning_rate = learning_rate
+        self.n_steps = n_steps
+        self.temperature = temperature
+
+    def _objective_and_grad(
+        self,
+        image_emb: np.ndarray,
+        base_text: np.ndarray,
+        context: np.ndarray,
+    ) -> tuple[float, np.ndarray]:
+        text = l2_normalize(base_text + context)
+        scores = image_emb @ text.T  # (n, m) cosines
+        # Soft-max margin: E_i[ sum_j p_ij s_ij - mean_j s_ij ],
+        # p = softmax(T * s) row-wise (differentiable stand-in for max).
+        p = softmax(scores, temperature=self.temperature, axis=1)
+        value = float((p * scores).sum(axis=1).mean()
+                      - scores.mean(axis=1).mean())
+        m = scores.shape[1]
+        # d value / d scores (treating p's dependence via the product rule).
+        sharp = p * (1.0 + self.temperature
+                     * (scores - (p * scores).sum(axis=1, keepdims=True)))
+        grad_scores = (sharp - 1.0 / m) / scores.shape[0]
+        # scores = image_emb @ normalize(base+ctx).T; fold normalization into
+        # the projection of the gradient onto each text direction's tangent.
+        grad_text = grad_scores.T @ image_emb  # (m, d)
+        norms = np.linalg.norm(base_text + context, axis=1, keepdims=True)
+        tangent = grad_text - (grad_text * text).sum(axis=1, keepdims=True) * text
+        grad_context = (tangent / np.maximum(norms, 1e-12)).sum(axis=0)
+        return value, grad_context
+
+    def fit(
+        self,
+        images: np.ndarray,
+        concepts: list[str] | tuple[str, ...],
+    ) -> TunedPrompt:
+        """Learn the context vector on unlabeled training images."""
+        if not concepts:
+            raise ConfigurationError("cannot tune prompts on an empty set")
+        image_emb = self.clip.encode_images(images)
+        base_text = self.clip.encode_texts(
+            self.template.format_all(list(concepts))
+        )
+        context = np.zeros(self.clip.world.config.latent_dim)
+        history: list[float] = []
+        for _ in range(self.n_steps):
+            value, grad = self._objective_and_grad(image_emb, base_text,
+                                                   context)
+            history.append(value)
+            context = context + self.learning_rate * grad
+        return TunedPrompt(context=context, base_template=self.template,
+                           history=history)
+
+
+def tuned_concept_scores(
+    clip: SimCLIP,
+    images: np.ndarray,
+    concepts: list[str] | tuple[str, ...],
+    tuned: TunedPrompt,
+) -> np.ndarray:
+    """Eq. 1 scores using the tuned prompts (s in [0, 1])."""
+    image_emb = clip.encode_images(images)
+    text = tuned.encode_concepts(clip, concepts)
+    return (np.clip(image_emb @ text.T, -1.0, 1.0) + 1.0) / 2.0

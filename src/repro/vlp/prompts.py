@@ -1,0 +1,54 @@
+"""Prompt engineering: templates turning concepts into VLP input texts.
+
+The paper's default template is ``"a photo of the {concept}"`` (§3.3.1); the
+ablation 4.4.3 compares it against ``"the {concept}"`` (P1) and
+``"it contains the {concept}"`` (P2), plus an ensemble that averages the
+similarity matrices of all three (``UHSCM_avg``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+#: The three templates studied in ablation 4.4.3, keyed as in the paper.
+PAPER_TEMPLATES: dict[str, str] = {
+    "default": "a photo of the {concept}",
+    "p1": "the {concept}",
+    "p2": "it contains the {concept}",
+}
+
+
+@dataclass(frozen=True)
+class PromptTemplate:
+    """A text template with a single ``{concept}`` placeholder."""
+
+    template: str
+
+    def __post_init__(self) -> None:
+        if "{concept}" not in self.template:
+            raise ConfigurationError(
+                f"template must contain '{{concept}}': {self.template!r}"
+            )
+
+    def format(self, concept: str) -> str:
+        """Instantiate the template for one concept name."""
+        concept = concept.strip()
+        if not concept:
+            raise ConfigurationError("empty concept name")
+        return self.template.format(concept=concept)
+
+    def format_all(self, concepts: list[str] | tuple[str, ...]) -> list[str]:
+        """Instantiate the template for every concept (the texts t_i)."""
+        return [self.format(c) for c in concepts]
+
+
+def paper_template(key: str = "default") -> PromptTemplate:
+    """Look up one of the paper's three templates by key."""
+    normalized = key.strip().lower()
+    if normalized not in PAPER_TEMPLATES:
+        raise ConfigurationError(
+            f"unknown template key {key!r}; options: {sorted(PAPER_TEMPLATES)}"
+        )
+    return PromptTemplate(PAPER_TEMPLATES[normalized])

@@ -1,0 +1,91 @@
+"""Simulated VLP text encoder.
+
+Maps a prompt string into the shared semantic space, reproducing the three
+properties of CLIP's text tower that the paper's prompt engineering exploits:
+
+1. **Grounding** — content words land near their concept's latent direction,
+   up to a fixed per-word alignment offset (CLIP's text-image misalignment).
+2. **Caption familiarity** — words frequent in caption pretraining data
+   ("a", "photo", "of", "the", ...) are near-neutral context: they contribute
+   only tiny fixed vectors.  Rare function words ("it", "contains") act like
+   spurious pseudo-concepts and pull the embedding away from the target
+   concept, which is why template P2 underperforms.
+3. **Prompt-length sensitivity** — very short prompts are out-of-distribution
+   for a caption-trained tower and incur extra distortion (the CLIP paper's
+   own observation that "a photo of a {label}" beats the bare label), which
+   is why template P1 underperforms.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.utils.hashing import stable_seed
+from repro.utils.mathops import l2_normalize
+from repro.vlp.tokenizer import tokenize
+from repro.vlp.world import SemanticWorld
+
+#: Words so frequent in web-caption pretraining that the tower treats them as
+#: near-neutral context.
+CAPTION_STOPWORDS: frozenset[str] = frozenset(
+    {"a", "an", "the", "of", "photo", "picture", "image", "this", "is",
+     "there", "some", "in", "on"}
+)
+
+#: Norm of a caption-stopword's context vector.
+_STOPWORD_NORM = 0.05
+
+#: Prompts shorter than this many tokens incur out-of-distribution distortion.
+_MIN_FAMILIAR_LENGTH = 4
+
+#: Distortion added per missing token below the familiar length.
+_SHORT_PROMPT_NOISE = 0.15
+
+
+class TextEncoder:
+    """Deterministic text tower over a :class:`SemanticWorld`."""
+
+    def __init__(self, world: SemanticWorld) -> None:
+        self.world = world
+
+    def _token_vector(self, token: str) -> np.ndarray:
+        if token in CAPTION_STOPWORDS:
+            # Tiny fixed context vector; deterministic per word.
+            gen = np.random.default_rng(
+                stable_seed(self.world.config.seed, "stop", token)
+            )
+            vec = l2_normalize(gen.normal(size=self.world.config.latent_dim))
+            return vec * _STOPWORD_NORM
+        # Content (or unfamiliar) words behave as grounded pseudo-concepts.
+        return self.world.concept_direction(token) + self.world.text_offset(token)
+
+    def _short_prompt_distortion(self, text: str, n_tokens: int) -> np.ndarray:
+        missing = max(0, _MIN_FAMILIAR_LENGTH - n_tokens)
+        if missing == 0:
+            return np.zeros(self.world.config.latent_dim)
+        gen = np.random.default_rng(stable_seed(self.world.config.seed, "ood", text))
+        direction = l2_normalize(gen.normal(size=self.world.config.latent_dim))
+        return direction * (_SHORT_PROMPT_NOISE * missing)
+
+    def encode(self, text: str) -> np.ndarray:
+        """Unit-norm embedding of one prompt."""
+        tokens = tokenize(text)
+        if not tokens:
+            raise ConfigurationError(f"prompt has no tokens: {text!r}")
+        vectors = np.stack([self._token_vector(t) for t in tokens])
+        content_mask = np.array([t not in CAPTION_STOPWORDS for t in tokens])
+        if content_mask.any():
+            # Content words carry the meaning; stopwords perturb slightly.
+            pooled = vectors[content_mask].mean(axis=0)
+            pooled = pooled + vectors[~content_mask].sum(axis=0)
+        else:
+            pooled = vectors.mean(axis=0)
+        pooled = pooled + self._short_prompt_distortion(text, len(tokens))
+        return l2_normalize(pooled)
+
+    def encode_batch(self, texts: list[str] | tuple[str, ...]) -> np.ndarray:
+        """Stack of unit-norm embeddings, shape (len(texts), D)."""
+        if not texts:
+            raise ConfigurationError("empty text batch")
+        return np.stack([self.encode(t) for t in texts])

@@ -1,0 +1,65 @@
+"""Word-level tokenizer for prompt texts.
+
+Real CLIP uses byte-pair encoding; for the simulated model a lower-cased
+word tokenizer is sufficient because the text encoder grounds whole words.
+The tokenizer still mirrors the BPE interface (encode to ids, decode back,
+special tokens) so code written against it would port to a real tokenizer.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import VocabularyError
+
+_WORD_RE = re.compile(r"[a-z0-9]+(?:'[a-z]+)?")
+
+
+def tokenize(text: str) -> list[str]:
+    """Lower-case word tokens of ``text`` (punctuation is discarded)."""
+    return _WORD_RE.findall(text.lower())
+
+
+class Vocabulary:
+    """Bidirectional word <-> id mapping with an <unk> token.
+
+    Ids are assigned in first-seen order; id 0 is reserved for ``<unk>``.
+    """
+
+    UNK = "<unk>"
+
+    def __init__(self, words: list[str] | tuple[str, ...] = ()) -> None:
+        self._word_to_id: dict[str, int] = {self.UNK: 0}
+        self._id_to_word: list[str] = [self.UNK]
+        for word in words:
+            self.add(word)
+
+    def add(self, word: str) -> int:
+        key = word.strip().lower()
+        if not key:
+            raise VocabularyError("cannot add empty word")
+        if key not in self._word_to_id:
+            self._word_to_id[key] = len(self._id_to_word)
+            self._id_to_word.append(key)
+        return self._word_to_id[key]
+
+    def __len__(self) -> int:
+        return len(self._id_to_word)
+
+    def __contains__(self, word: str) -> bool:
+        return word.strip().lower() in self._word_to_id
+
+    def id_of(self, word: str) -> int:
+        return self._word_to_id.get(word.strip().lower(), 0)
+
+    def word_of(self, token_id: int) -> str:
+        if not 0 <= token_id < len(self._id_to_word):
+            raise VocabularyError(f"token id {token_id} out of range")
+        return self._id_to_word[token_id]
+
+    def encode(self, text: str) -> list[int]:
+        """Token ids of ``text`` (<unk>=0 for out-of-vocabulary words)."""
+        return [self.id_of(w) for w in tokenize(text)]
+
+    def decode(self, ids: list[int]) -> str:
+        return " ".join(self.word_of(i) for i in ids)

@@ -1,0 +1,63 @@
+"""Shared fixtures: a small semantic world and tiny datasets.
+
+Session-scoped so the expensive generation happens once per test run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import SplitSizes, dataset_spec, generate_dataset
+from repro.vlp import SimCLIP, SemanticWorld, WorldConfig
+
+
+@pytest.fixture(scope="session")
+def world() -> SemanticWorld:
+    return SemanticWorld(WorldConfig(seed=99))
+
+
+@pytest.fixture(scope="session")
+def clip(world: SemanticWorld) -> SimCLIP:
+    return SimCLIP(world)
+
+
+def _tiny(name: str, world: SemanticWorld):
+    sizes = SplitSizes(train=80, query=30, database=300)
+    return generate_dataset(dataset_spec(name), sizes, world=world, seed=7)
+
+
+@pytest.fixture(scope="session")
+def cifar_tiny(world: SemanticWorld):
+    return _tiny("cifar10", world)
+
+
+@pytest.fixture(scope="session")
+def nuswide_tiny(world: SemanticWorld):
+    return _tiny("nuswide", world)
+
+
+@pytest.fixture(scope="session")
+def mirflickr_tiny(world: SemanticWorld):
+    return _tiny("mirflickr", world)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0)
+
+
+def numerical_gradient(f, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of a scalar function of an array."""
+    grad = np.zeros_like(x, dtype=np.float64)
+    flat = x.reshape(-1)
+    gflat = grad.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        hi = f(x)
+        flat[i] = orig - eps
+        lo = f(x)
+        flat[i] = orig
+        gflat[i] = (hi - lo) / (2 * eps)
+    return grad

@@ -1,0 +1,113 @@
+"""Tests for k-means, t-SNE, and separation scoring."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    class_separation_ratio,
+    kmeans,
+    kmeans_best_of,
+    silhouette_score,
+    tsne,
+)
+from repro.errors import ConfigurationError
+
+
+def blobs(n_per=20, centers=((0, 0), (10, 10), (-10, 10)), seed=0):
+    rng = np.random.default_rng(seed)
+    points, labels = [], []
+    for i, c in enumerate(centers):
+        points.append(rng.normal(size=(n_per, 2)) + np.asarray(c))
+        labels += [i] * n_per
+    return np.concatenate(points), np.asarray(labels)
+
+
+class TestKMeans:
+    def test_recovers_blobs(self):
+        x, labels = blobs()
+        result = kmeans(x, 3, seed=0)
+        # Each true cluster maps to exactly one k-means cluster.
+        for c in range(3):
+            assigned = result.labels[labels == c]
+            assert len(set(assigned)) == 1
+
+    def test_labels_in_range(self, rng):
+        result = kmeans(rng.normal(size=(30, 4)), 5, seed=1)
+        assert result.labels.min() >= 0 and result.labels.max() < 5
+
+    def test_inertia_decreases_with_k(self, rng):
+        x = rng.normal(size=(60, 3))
+        i2 = kmeans(x, 2, seed=0).inertia
+        i10 = kmeans(x, 10, seed=0).inertia
+        assert i10 < i2
+
+    def test_k_equals_n(self, rng):
+        x = rng.normal(size=(5, 2))
+        result = kmeans(x, 5, seed=0)
+        assert result.inertia == pytest.approx(0.0, abs=1e-12)
+
+    def test_validation(self, rng):
+        with pytest.raises(ConfigurationError):
+            kmeans(rng.normal(size=(5, 2)), 6)
+        with pytest.raises(ConfigurationError):
+            kmeans(rng.normal(size=5), 2)
+
+    def test_best_of_not_worse(self, rng):
+        x = rng.normal(size=(40, 3))
+        single = kmeans(x, 4, seed=0).inertia
+        best = kmeans_best_of(x, 4, n_init=5, seed=0).inertia
+        assert best <= single + 1e-9
+
+    @given(st.integers(0, 1000))
+    @settings(max_examples=20, deadline=None)
+    def test_property_assignment_is_nearest(self, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(25, 3))
+        result = kmeans(x, 4, seed=seed)
+        d = ((x[:, None, :] - result.centroids[None]) ** 2).sum(axis=2)
+        np.testing.assert_array_equal(result.labels, d.argmin(axis=1))
+
+
+class TestTsne:
+    def test_embedding_shape(self):
+        x, _ = blobs(n_per=10)
+        y = tsne(x, n_iter=50, perplexity=5, seed=0)
+        assert y.shape == (30, 2)
+        assert np.isfinite(y).all()
+
+    def test_separates_blobs(self):
+        x, labels = blobs(n_per=15)
+        y = tsne(x, n_iter=200, perplexity=10, seed=0)
+        assert silhouette_score(y, labels) > 0.3
+
+    def test_validation(self, rng):
+        with pytest.raises(ConfigurationError):
+            tsne(rng.normal(size=(3, 2)))
+        with pytest.raises(ConfigurationError):
+            tsne(rng.normal(size=(20, 2)), perplexity=50)
+
+
+class TestSeparation:
+    def test_silhouette_perfect_clusters(self):
+        x, labels = blobs(n_per=10)
+        assert silhouette_score(x, labels) > 0.8
+
+    def test_silhouette_random_labels_near_zero(self, rng):
+        x = rng.normal(size=(40, 2))
+        labels = rng.integers(0, 2, size=40)
+        assert abs(silhouette_score(x, labels)) < 0.2
+
+    def test_separation_ratio_orders_quality(self, rng):
+        x, labels = blobs(n_per=10)
+        noisy = x + rng.normal(size=x.shape) * 8
+        assert class_separation_ratio(x, labels) > class_separation_ratio(
+            noisy, labels
+        )
+
+    def test_validation(self, rng):
+        with pytest.raises(ConfigurationError):
+            silhouette_score(rng.normal(size=(5, 2)), np.zeros(5))  # 1 class
+        with pytest.raises(ConfigurationError):
+            class_separation_ratio(rng.normal(size=(5, 2)), np.zeros(3))

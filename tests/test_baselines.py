@@ -1,0 +1,197 @@
+"""Tests for all ten baseline hashing methods."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    AGH,
+    BASELINES,
+    EXTRA_BASELINES,
+    ITQ,
+    LSH,
+    SSDH,
+    BaseHasher,
+    GreedyHash,
+    SpectralHashing,
+    make_baseline,
+)
+from repro.baselines.deep import DeepHasherBase, masked_pair_loss
+from repro.errors import ConfigurationError, NotFittedError, ShapeError
+from repro.retrieval import evaluate_hashing
+from tests.conftest import numerical_gradient
+
+DEEP_KW = dict(epochs=8)
+
+
+def fit_method(name, dataset, bits=16, **kwargs):
+    world = dataset.world
+    if name in ("LSH", "SH", "ITQ", "AGH"):
+        m = make_baseline(name, bits, world.vgg_features, seed=0, **kwargs)
+    else:
+        m = make_baseline(
+            name, bits, world.backbone_features, seed=0,
+            guidance_extractor=world.vgg_features,
+            augment_fn=lambda f, rng: world.augment_features(f, rng),
+            **{**DEEP_KW, **kwargs},
+        )
+    return m.fit(dataset.train_images)
+
+
+class TestRegistry:
+    def test_table1_has_nine_baselines(self):
+        assert len(BASELINES) == 9
+        assert list(BASELINES)[:4] == ["LSH", "SH", "ITQ", "AGH"]
+
+    def test_uth_is_extra(self):
+        assert "UTH" in EXTRA_BASELINES
+
+    def test_aliases(self, cifar_tiny):
+        m = make_baseline("greedyhash", 8, cifar_tiny.world.vgg_features)
+        assert isinstance(m, GreedyHash)
+
+    def test_unknown(self, cifar_tiny):
+        with pytest.raises(ConfigurationError):
+            make_baseline("DeepHash9000", 8, cifar_tiny.world.vgg_features)
+
+
+@pytest.mark.parametrize("name", list(BASELINES) + list(EXTRA_BASELINES))
+class TestAllBaselines:
+    def test_fit_encode_contract(self, name, cifar_tiny):
+        m = fit_method(name, cifar_tiny, bits=16)
+        codes = m.encode(cifar_tiny.query_images)
+        assert codes.shape == (cifar_tiny.n_query, 16)
+        assert set(np.unique(codes)) <= {-1.0, 1.0}
+
+    def test_encode_before_fit(self, name, cifar_tiny):
+        world = cifar_tiny.world
+        m = make_baseline(name, 8, world.vgg_features, seed=0)
+        with pytest.raises(NotFittedError):
+            m.encode(cifar_tiny.query_images)
+
+    def test_deterministic_given_seed(self, name, cifar_tiny):
+        a = fit_method(name, cifar_tiny, bits=8).encode(
+            cifar_tiny.query_images[:10]
+        )
+        b = fit_method(name, cifar_tiny, bits=8).encode(
+            cifar_tiny.query_images[:10]
+        )
+        np.testing.assert_array_equal(a, b)
+
+
+class TestShallowSpecifics:
+    def test_lsh_beats_nothing_but_works(self, cifar_tiny):
+        m = fit_method("LSH", cifar_tiny, bits=32)
+        report = evaluate_hashing(m, cifar_tiny, pn_points=(10,))
+        assert report.map > 0.1  # above the random floor for 10 classes
+
+    def test_itq_beats_lsh(self, cifar_tiny):
+        lsh = evaluate_hashing(fit_method("LSH", cifar_tiny, bits=32),
+                               cifar_tiny, pn_points=(10,))
+        itq = evaluate_hashing(fit_method("ITQ", cifar_tiny, bits=32),
+                               cifar_tiny, pn_points=(10,))
+        assert itq.map > lsh.map
+
+    def test_itq_rotation_orthogonal(self, cifar_tiny):
+        m = fit_method("ITQ", cifar_tiny, bits=16)
+        r = m._rotation
+        np.testing.assert_allclose(r @ r.T, np.eye(16), atol=1e-8)
+
+    def test_sh_modes_sorted_by_eigenvalue(self, cifar_tiny):
+        m = fit_method("SH", cifar_tiny, bits=16)
+        assert len(m._modes) == 16
+
+    def test_agh_anchor_count(self, cifar_tiny):
+        m = fit_method("AGH", cifar_tiny, bits=8, n_anchors=16)
+        assert m._anchors.shape[0] == 16
+
+    def test_agh_validation(self, cifar_tiny):
+        with pytest.raises(ConfigurationError):
+            AGH(8, cifar_tiny.world.vgg_features, n_anchors=0)
+
+
+class TestDeepSpecifics:
+    def test_loss_history_recorded(self, cifar_tiny):
+        m = fit_method("SSDH", cifar_tiny, bits=8)
+        assert len(m.loss_history) == DEEP_KW["epochs"]
+
+    def test_ssdh_structure_values(self, cifar_tiny):
+        m = fit_method("SSDH", cifar_tiny, bits=8)
+        assert set(np.unique(m._structure)) <= {-1.0, 0.0, 1.0}
+
+    def test_mls3rduh_structure_symmetric(self, cifar_tiny):
+        m = fit_method("MLS3RDUH", cifar_tiny, bits=8)
+        np.testing.assert_allclose(m._structure, m._structure.T, atol=1e-9)
+
+    def test_bgan_has_extra_networks(self, cifar_tiny):
+        m = fit_method("BGAN", cifar_tiny, bits=8)
+        assert m._decoder is not None and m._disc is not None
+
+    def test_cib_custom_augment_used(self, cifar_tiny):
+        calls = []
+
+        def augment(f, rng):
+            calls.append(1)
+            return f
+
+        world = cifar_tiny.world
+        m = make_baseline("CIB", 8, world.backbone_features, seed=0,
+                          augment_fn=augment, epochs=2)
+        m.fit(cifar_tiny.train_images)
+        assert calls
+
+    def test_guidance_extractor_defaults_to_inputs(self, cifar_tiny):
+        world = cifar_tiny.world
+        m = make_baseline("SSDH", 8, world.backbone_features, seed=0, epochs=2)
+        m.fit(cifar_tiny.train_images)  # no guidance extractor: still works
+
+    def test_epochs_validation(self, cifar_tiny):
+        with pytest.raises(ValueError):
+            SSDH(8, cifar_tiny.world.vgg_features, epochs=0)
+
+
+class TestMaskedPairLoss:
+    def test_gradient(self, rng):
+        z = rng.normal(size=(5, 6))
+        target = rng.random((5, 5))
+        mask = rng.random((5, 5)) > 0.3
+        _, grad = masked_pair_loss(z, target, mask)
+        num = numerical_gradient(
+            lambda zz: masked_pair_loss(zz, target, mask)[0], z.copy()
+        )
+        np.testing.assert_allclose(grad, num, atol=1e-8)
+
+    def test_mask_excludes_pairs(self, rng):
+        z = rng.normal(size=(4, 4))
+        target = np.zeros((4, 4))
+        loss_full, _ = masked_pair_loss(z, target, np.ones((4, 4), bool))
+        loss_none, grad = masked_pair_loss(z, target, np.zeros((4, 4), bool))
+        assert loss_none == 0.0
+        np.testing.assert_array_equal(grad, 0.0)
+        assert loss_full > 0
+
+    def test_shape_check(self, rng):
+        with pytest.raises(ShapeError):
+            masked_pair_loss(rng.normal(size=(3, 4)), np.zeros((2, 2)),
+                             np.ones((2, 2), bool))
+
+
+class TestBaseClassContract:
+    def test_feature_extractor_shape_check(self, cifar_tiny):
+        def bad_extractor(images):
+            return np.zeros(3)
+
+        class Dummy(BaseHasher):
+            name = "dummy"
+
+            def _fit_features(self, features):
+                pass
+
+            def _encode_features(self, features):
+                return features
+
+        with pytest.raises(ConfigurationError):
+            Dummy(8, bad_extractor).fit(cifar_tiny.train_images)
+
+    def test_n_bits_validation(self, cifar_tiny):
+        with pytest.raises(ConfigurationError):
+            LSH(0, cifar_tiny.world.vgg_features)

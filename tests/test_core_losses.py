@@ -1,0 +1,167 @@
+"""Tests for the UHSCM hashing losses (Eq. 7–11) — values and gradients."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.losses import (
+    cib_contrastive_loss,
+    modified_contrastive_loss,
+    pairwise_cosine,
+    quantization_loss,
+    similarity_preserving_loss,
+    uhscm_objective,
+)
+from repro.errors import ShapeError
+from tests.conftest import numerical_gradient
+
+
+@pytest.fixture()
+def batch(rng):
+    z = rng.normal(size=(6, 8))
+    q = rng.random((6, 6))
+    q = (q + q.T) / 2
+    np.fill_diagonal(q, 1.0)
+    return z, q
+
+
+class TestSimilarityPreservingLoss:
+    def test_zero_when_codes_match_q(self):
+        z = np.array([[1.0, 1.0], [1.0, 1.0], [-1.0, -1.0]]) * 3.0
+        q = np.array([[1.0, 1.0, -1.0], [1.0, 1.0, -1.0], [-1.0, -1.0, 1.0]])
+        loss, grad = similarity_preserving_loss(z, q)
+        assert loss == pytest.approx(0.0, abs=1e-12)
+        np.testing.assert_allclose(grad, 0.0, atol=1e-12)
+
+    def test_gradient_matches_numerical(self, batch):
+        z, q = batch
+        _, grad = similarity_preserving_loss(z, q)
+        num = numerical_gradient(
+            lambda zz: similarity_preserving_loss(zz, q)[0], z.copy()
+        )
+        np.testing.assert_allclose(grad, num, atol=1e-8)
+
+    def test_shape_validation(self, batch):
+        z, _ = batch
+        with pytest.raises(ShapeError):
+            similarity_preserving_loss(z, np.zeros((2, 2)))
+
+
+class TestModifiedContrastiveLoss:
+    def test_gradient_matches_numerical(self, batch):
+        z, q = batch
+        _, grad = modified_contrastive_loss(z, q, lam=0.5, gamma=0.3)
+        num = numerical_gradient(
+            lambda zz: modified_contrastive_loss(zz, q, lam=0.5, gamma=0.3)[0],
+            z.copy(),
+        )
+        np.testing.assert_allclose(grad, num, atol=1e-8)
+
+    def test_no_positives_gives_zero(self, batch):
+        z, q = batch
+        loss, grad = modified_contrastive_loss(z, q, lam=2.0, gamma=0.3)
+        assert loss == 0.0
+        np.testing.assert_array_equal(grad, 0.0)
+
+    def test_pulls_positives_together(self, rng):
+        """Minimizing L_c must increase the positive pair's similarity —
+        this is the direction the paper's printed Eq. 8 gets backwards."""
+        z = rng.normal(size=(4, 16))
+        q = np.eye(4)
+        q[0, 1] = q[1, 0] = 1.0  # only positive pair: (0, 1)
+        before = pairwise_cosine(z)[0][0, 1]
+        for _ in range(50):
+            _, grad = modified_contrastive_loss(z, q, lam=0.9, gamma=0.3)
+            z = z - 0.5 * grad
+        after = pairwise_cosine(z)[0][0, 1]
+        assert after > before
+
+    def test_gamma_validation(self, batch):
+        z, q = batch
+        with pytest.raises(ShapeError):
+            modified_contrastive_loss(z, q, lam=0.5, gamma=0.0)
+
+
+class TestQuantizationLoss:
+    def test_zero_for_binary_codes(self):
+        z = np.array([[1.0, -1.0], [-1.0, 1.0]])
+        loss, grad = quantization_loss(z)
+        assert loss == 0.0
+        np.testing.assert_array_equal(grad, 0.0)
+
+    def test_value(self):
+        z = np.array([[0.5, -0.5]])
+        loss, _ = quantization_loss(z)
+        assert loss == pytest.approx(0.5)
+
+    def test_gradient(self, rng):
+        z = rng.normal(size=(3, 4)) + 0.2  # keep away from sign flips
+        _, grad = quantization_loss(z)
+        num = numerical_gradient(lambda zz: quantization_loss(zz)[0], z.copy())
+        np.testing.assert_allclose(grad, num, atol=1e-7)
+
+
+class TestCibContrastive:
+    def test_gradients_match_numerical(self, rng):
+        z1 = rng.normal(size=(4, 6))
+        z2 = rng.normal(size=(4, 6))
+        _, g1, g2 = cib_contrastive_loss(z1, z2, gamma=0.4)
+        n1 = numerical_gradient(
+            lambda z: cib_contrastive_loss(z, z2, gamma=0.4)[0], z1.copy()
+        )
+        n2 = numerical_gradient(
+            lambda z: cib_contrastive_loss(z1, z, gamma=0.4)[0], z2.copy()
+        )
+        np.testing.assert_allclose(g1, n1, atol=1e-8)
+        np.testing.assert_allclose(g2, n2, atol=1e-8)
+
+    def test_view_shape_mismatch(self, rng):
+        with pytest.raises(ShapeError):
+            cib_contrastive_loss(rng.normal(size=(3, 4)),
+                                 rng.normal(size=(4, 4)), gamma=0.3)
+
+
+class TestObjective:
+    def test_combines_terms(self, batch):
+        z, q = batch
+        breakdown, grad = uhscm_objective(z, q, alpha=0.2, beta=0.001,
+                                          gamma=0.2, lam=0.6)
+        expected = (
+            breakdown.similarity
+            + 0.2 * breakdown.contrastive
+            + 0.001 * breakdown.quantization
+        )
+        assert breakdown.total == pytest.approx(expected)
+        assert grad.shape == z.shape
+
+    def test_alpha_zero_skips_contrastive(self, batch):
+        z, q = batch
+        breakdown, _ = uhscm_objective(z, q, alpha=0.0, beta=0.001,
+                                       gamma=0.2, lam=0.6)
+        assert breakdown.contrastive == 0.0
+
+    def test_full_gradient(self, batch):
+        z, q = batch
+        _, grad = uhscm_objective(z, q, alpha=0.3, beta=0.01, gamma=0.25,
+                                  lam=0.5)
+        num = numerical_gradient(
+            lambda zz: uhscm_objective(zz, q, alpha=0.3, beta=0.01,
+                                       gamma=0.25, lam=0.5)[0].total,
+            z.copy(),
+        )
+        np.testing.assert_allclose(grad, num, atol=1e-8)
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_property_loss_finite_nonnegative(self, seed):
+        rng = np.random.default_rng(seed)
+        z = rng.normal(size=(5, 6)) * 3
+        q = np.clip(rng.random((5, 5)), 0, 1)
+        np.fill_diagonal(q, 1.0)
+        breakdown, grad = uhscm_objective(z, q, alpha=0.2, beta=0.001,
+                                          gamma=0.2, lam=0.7)
+        assert np.isfinite(breakdown.total)
+        assert breakdown.similarity >= 0
+        assert breakdown.quantization >= 0
+        assert np.isfinite(grad).all()

@@ -1,0 +1,148 @@
+"""Tests for concept mining (Eq. 1–2) and denoising (Eq. 4–5)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.denoising import (
+    concept_frequencies,
+    denoise_concepts,
+    keep_mask,
+)
+from repro.core.mining import ConceptMiner, concept_distributions
+from repro.errors import ConfigurationError
+
+
+class TestConceptDistributions:
+    def test_rows_are_distributions(self, rng):
+        scores = rng.random((10, 5))
+        d = concept_distributions(scores, tau=5.0)
+        np.testing.assert_allclose(d.sum(axis=1), 1.0)
+        assert np.all(d >= 0)
+
+    def test_tau_sharpens(self):
+        scores = np.array([[0.2, 0.8]])
+        soft = concept_distributions(scores, tau=1.0)
+        sharp = concept_distributions(scores, tau=50.0)
+        assert sharp[0, 1] > soft[0, 1]
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            concept_distributions(np.zeros(3), tau=1.0)
+        with pytest.raises(ConfigurationError):
+            concept_distributions(np.zeros((2, 2)), tau=0.0)
+
+    @given(
+        arrays(np.float64, st.tuples(st.integers(1, 8), st.integers(2, 8)),
+               elements=st.floats(0, 1)),
+        st.floats(min_value=0.5, max_value=300),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_stochastic(self, scores, tau):
+        d = concept_distributions(scores, tau)
+        np.testing.assert_allclose(d.sum(axis=1), 1.0, atol=1e-9)
+
+
+class TestConceptMiner:
+    def test_mine_shapes(self, clip, world, rng):
+        lat = np.stack([world.image_latent(["cat"], rng=rng) for _ in range(6)])
+        images = world.render(lat, rng=rng)
+        miner = ConceptMiner(clip, tau_scale=1.0)
+        d = miner.mine(images, ["cat", "dog", "sky"])
+        assert d.shape == (6, 3)
+        np.testing.assert_allclose(d.sum(axis=1), 1.0)
+
+    def test_present_concept_gets_most_mass(self, clip, world, rng):
+        lat = np.stack([world.image_latent(["dog"], rng=rng) for _ in range(10)])
+        images = world.render(lat, rng=rng)
+        miner = ConceptMiner(clip, tau_scale=2.0)
+        d = miner.mine(images, ["dog", "bridge", "computer", "map"])
+        assert (d.argmax(axis=1) == 0).mean() >= 0.9
+
+    def test_empty_concepts(self, clip, world, rng):
+        images = world.render(world.image_latent(["cat"], rng=rng), rng=rng)
+        with pytest.raises(ConfigurationError):
+            ConceptMiner(clip).mine(images, [])
+
+    def test_bad_tau_scale(self, clip):
+        with pytest.raises(ConfigurationError):
+            ConceptMiner(clip, tau_scale=0.0)
+
+
+class TestFrequencies:
+    def test_eq4_counts_argmax_wins(self):
+        d = np.array([
+            [0.7, 0.2, 0.1],
+            [0.6, 0.3, 0.1],
+            [0.1, 0.8, 0.1],
+        ])
+        np.testing.assert_array_equal(concept_frequencies(d), [2, 1, 0])
+
+    def test_total_equals_n(self, rng):
+        d = concept_distributions(rng.random((30, 7)), tau=3.0)
+        assert concept_frequencies(d).sum() == 30
+
+
+class TestKeepMask:
+    def test_eq5_bounds(self):
+        # n=100, m=4: keep iff 12.5 <= f <= 50.
+        freq = np.array([0, 12, 13, 50, 51, 100])
+        mask = keep_mask(freq, n_images=100)
+        # m = 6 here: lower bound = 0.5*100/6 = 8.33.
+        np.testing.assert_array_equal(mask, [False, True, True, True, False,
+                                             False])
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            keep_mask(np.zeros((2, 2)), 10)
+        with pytest.raises(ConfigurationError):
+            keep_mask(np.zeros(3), 0)
+
+
+class TestDenoise:
+    def test_discards_never_winning_concepts(self):
+        # concept 2 never wins: below the 0.5 n/m floor.
+        d = np.array([[0.6, 0.3, 0.1]] * 6 + [[0.3, 0.6, 0.1]] * 6)
+        result = denoise_concepts(("a", "b", "c"), d)
+        assert result.kept_concepts == ("a", "b")
+        assert result.discarded_concepts == ("c",)
+        assert result.n_kept == 2
+
+    def test_discards_dominating_concept(self):
+        # concept 0 wins for 8 of 12 images > 0.5 n; b and c stay in range.
+        d = np.array(
+            [[0.9, 0.05, 0.05]] * 8
+            + [[0.1, 0.8, 0.1]] * 2
+            + [[0.1, 0.1, 0.8]] * 2
+        )
+        result = denoise_concepts(("a", "b", "c"), d)
+        assert "a" not in result.kept_concepts
+        assert result.kept_concepts == ("b", "c")
+
+    def test_never_empties_the_set(self):
+        d = np.array([[1.0, 0.0]] * 4)  # 'a' too frequent, 'b' too rare
+        result = denoise_concepts(("a", "b"), d)
+        assert result.n_kept == 2  # fallback keeps everything
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            denoise_concepts(("a",), np.zeros((3, 2)))
+
+    def test_background_concept_discarded_end_to_end(self, clip, world, rng):
+        """The paper's motivating case: a ubiquitous background concept is
+        dropped by the f > 0.5 n rule."""
+        lat = np.stack([
+            world.image_latent(["sun", c], np.array([1.2, 1.0]), rng=rng)
+            for c in ("cat", "dog", "tree", "flowers") * 10
+        ])
+        images = world.render(lat, rng=rng)
+        miner = ConceptMiner(clip, tau_scale=1.0)
+        concepts = ("sun", "cat", "dog", "tree", "flowers", "computer")
+        d = miner.mine(images, concepts)
+        result = denoise_concepts(concepts, d)
+        assert "sun" not in result.kept_concepts  # dominates everything
+        assert "computer" not in result.kept_concepts  # never present
+        # At least one genuine class concept survives the filter.
+        assert set(result.kept_concepts) & {"cat", "dog", "tree", "flowers"}

@@ -1,0 +1,168 @@
+"""Tests for the hashing network, trainer, UHSCM model, and variants."""
+
+import numpy as np
+import pytest
+
+from repro.config import TrainConfig, UHSCMConfig
+from repro.core.hashing_network import HashingNetwork
+from repro.core.trainer import UHSCMTrainer
+from repro.core.uhscm import UHSCM
+from repro.core.variants import VARIANTS, get_variant
+from repro.errors import ConfigurationError, NotFittedError
+from repro.retrieval import evaluate_hashing
+from repro.vlp.concepts import COCO_80, NUS_WIDE_81
+
+
+def small_config(n_bits=16, **overrides):
+    defaults = dict(
+        n_bits=n_bits,
+        train=TrainConfig(epochs=8, batch_size=40),
+        seed=0,
+    )
+    defaults.update(overrides)
+    return UHSCMConfig(**defaults)
+
+
+class TestHashingNetwork:
+    def test_feature_mode(self, world, cifar_tiny):
+        net = HashingNetwork(
+            8, mode="feature",
+            feature_extractor=world.backbone_features,
+            feature_dim=world.config.latent_dim,
+        )
+        codes = net.encode(cifar_tiny.train_images[:10])
+        assert codes.shape == (10, 8)
+        assert set(np.unique(codes)) <= {-1.0, 1.0}
+
+    def test_conv_mode(self, cifar_tiny):
+        net = HashingNetwork(8, mode="conv",
+                             image_size=cifar_tiny.train_images.shape[-1])
+        codes = net.encode(cifar_tiny.train_images[:4])
+        assert codes.shape == (4, 8)
+
+    def test_validation(self, world):
+        with pytest.raises(ConfigurationError):
+            HashingNetwork(8, mode="feature")  # missing extractor
+        with pytest.raises(ConfigurationError):
+            HashingNetwork(8, mode="magic")
+        with pytest.raises(ConfigurationError):
+            HashingNetwork(0, mode="conv")
+
+
+class TestTrainer:
+    def _network(self, world):
+        return HashingNetwork(
+            8, mode="feature",
+            feature_extractor=world.backbone_features,
+            feature_dim=world.config.latent_dim,
+        )
+
+    def test_loss_decreases(self, world, cifar_tiny):
+        net = self._network(world)
+        config = small_config(n_bits=8)
+        trainer = UHSCMTrainer(net, config)
+        inputs = net.prepare_inputs(cifar_tiny.train_images)
+        labels = cifar_tiny.train_labels.astype(float)
+        q = labels @ labels.T  # oracle similarity
+        history = trainer.fit(inputs, q)
+        assert history.n_epochs == config.train.epochs
+        assert history.total[-1] < history.total[0]
+
+    def test_cib_mode_runs(self, world, cifar_tiny):
+        net = self._network(world)
+        trainer = UHSCMTrainer(net, small_config(n_bits=8), contrastive="cib")
+        inputs = net.prepare_inputs(cifar_tiny.train_images[:40])
+        q = np.eye(40)
+        history = trainer.fit(inputs, q, epochs=2)
+        assert history.n_epochs == 2
+
+    def test_bad_contrastive_mode(self, world):
+        with pytest.raises(ConfigurationError):
+            UHSCMTrainer(self._network(world), small_config(), contrastive="x")
+
+    def test_similarity_shape_check(self, world, cifar_tiny):
+        net = self._network(world)
+        trainer = UHSCMTrainer(net, small_config(n_bits=8))
+        inputs = net.prepare_inputs(cifar_tiny.train_images)
+        with pytest.raises(ConfigurationError):
+            trainer.fit(inputs, np.eye(3))
+
+
+class TestUHSCM:
+    def test_fit_encode_cycle(self, clip, cifar_tiny):
+        model = UHSCM(small_config(), clip=clip)
+        model.fit(cifar_tiny.train_images)
+        codes = model.encode(cifar_tiny.query_images)
+        assert codes.shape == (cifar_tiny.n_query, 16)
+        assert set(np.unique(codes)) <= {-1.0, 1.0}
+
+    def test_encode_before_fit_raises(self, clip, cifar_tiny):
+        model = UHSCM(small_config(), clip=clip)
+        with pytest.raises(NotFittedError):
+            model.encode(cifar_tiny.query_images)
+        with pytest.raises(NotFittedError):
+            _ = model.mined_concepts
+
+    def test_mined_concepts_denoised(self, clip, cifar_tiny):
+        model = UHSCM(small_config(), clip=clip)
+        model.fit(cifar_tiny.train_images)
+        assert 0 < len(model.mined_concepts) < len(NUS_WIDE_81)
+
+    def test_injected_similarity_skips_mining(self, clip, cifar_tiny):
+        model = UHSCM(small_config(), clip=clip)
+        n = cifar_tiny.n_train
+        model.fit(cifar_tiny.train_images, similarity=np.eye(n))
+        assert model.mined_concepts == ()
+
+    def test_relaxed_codes_in_range(self, clip, cifar_tiny):
+        model = UHSCM(small_config(), clip=clip)
+        model.fit(cifar_tiny.train_images)
+        z = model.relaxed_codes(cifar_tiny.query_images[:5])
+        assert np.all(np.abs(z) <= 1.0)
+
+    def test_beats_random_codes(self, clip, cifar_tiny):
+        model = UHSCM(small_config(n_bits=32), clip=clip)
+        model.fit(cifar_tiny.train_images)
+        report = evaluate_hashing(model, cifar_tiny, pn_points=(10,))
+        assert report.map > 0.3  # random ~0.1 on 10 balanced classes
+
+
+class TestVariants:
+    def test_registry_has_15_rows(self):
+        assert len(VARIANTS) == 15
+        assert "ours" in VARIANTS
+
+    def test_unknown_variant(self):
+        with pytest.raises(ConfigurationError):
+            get_variant("nope")
+
+    def test_coco_variant_uses_coco(self, clip):
+        model = get_variant("coco")(small_config(), clip)
+        assert model.concepts == COCO_80
+
+    def test_nus_coco_has_153(self, clip):
+        model = get_variant("nus&coco")(small_config(), clip)
+        assert len(model.concepts) == 153
+
+    def test_wo_mcl_sets_alpha_zero(self, clip):
+        model = get_variant("wo_mcl")(small_config(alpha=0.2), clip)
+        assert model.config.alpha == 0.0
+
+    def test_wo_de_disables_denoise(self, clip):
+        model = get_variant("wo_de")(small_config(), clip)
+        assert model.config.denoise is False
+
+    def test_cl_uses_cib_trainer(self, clip):
+        model = get_variant("cl")(small_config(), clip)
+        assert model.contrastive == "cib"
+
+    def test_prompt_variants_change_template(self, clip):
+        p1 = get_variant("p1")(small_config(), clip)
+        assert p1.config.prompt_template == "the {concept}"
+
+    @pytest.mark.parametrize("key", ["if", "c20", "avg"])
+    def test_variants_fit_and_encode(self, key, clip, cifar_tiny):
+        model = get_variant(key)(small_config(n_bits=8), clip)
+        model.fit(cifar_tiny.train_images)
+        codes = model.encode(cifar_tiny.query_images[:5])
+        assert codes.shape == (5, 8)

@@ -1,0 +1,102 @@
+"""Failure-injection tests: corrupted inputs must fail loudly, not silently.
+
+A production library's error paths matter as much as its happy paths; these
+tests feed each subsystem malformed data and assert it refuses clearly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import TrainConfig, UHSCMConfig
+from repro.core.uhscm import UHSCM
+from repro.errors import (
+    ConfigurationError,
+    ReproError,
+    ShapeError,
+)
+from repro.retrieval import evaluate_codes, pack_codes
+from repro.retrieval.hamming import PackedCodes
+
+
+class TestCorruptedCodes:
+    def test_nan_codes_rejected(self):
+        codes = np.full((3, 8), np.nan)
+        with pytest.raises(ShapeError):
+            pack_codes(codes)
+
+    def test_fractional_codes_rejected(self):
+        with pytest.raises(ShapeError):
+            pack_codes(np.full((2, 4), 0.999))
+
+    def test_packed_codes_byte_width_checked(self):
+        with pytest.raises(ShapeError):
+            PackedCodes(bits=np.zeros((2, 3), dtype=np.uint8), n_bits=64)
+
+    def test_packed_codes_dtype_checked(self):
+        with pytest.raises(ShapeError):
+            PackedCodes(bits=np.zeros((2, 8), dtype=np.int64), n_bits=64)
+
+
+class TestCorruptedLabels:
+    def test_evaluate_rejects_label_dim_mismatch(self):
+        q = np.where(np.random.default_rng(0).random((3, 8)) < 0.5, -1.0, 1.0)
+        db = np.where(np.random.default_rng(1).random((9, 8)) < 0.5, -1.0, 1.0)
+        with pytest.raises(ShapeError):
+            evaluate_codes(q, db, np.ones((3, 4), int), np.ones((9, 5), int))
+
+
+class TestCorruptedImages:
+    def test_uhscm_rejects_wrong_image_geometry(self, clip):
+        model = UHSCM(UHSCMConfig(n_bits=8, train=TrainConfig(epochs=1)),
+                      clip=clip)
+        bad_images = np.zeros((10, 3, 7, 7))  # world expects 16x16
+        with pytest.raises(ReproError):
+            model.fit(bad_images)
+
+    def test_world_rejects_flat_input(self, world):
+        with pytest.raises(ConfigurationError):
+            world.encode_pixels(np.zeros((5, 768)))
+
+
+class TestDegenerateTrainingData:
+    def test_single_image_training_is_rejected_or_harmless(self, clip,
+                                                           cifar_tiny):
+        """Pairwise losses need >= 2 images per batch; a 1-image train set
+        must not produce NaNs."""
+        model = UHSCM(UHSCMConfig(n_bits=8, train=TrainConfig(epochs=1,
+                                                              batch_size=2)),
+                      clip=clip)
+        # Two identical images: Q is all-ones; must still train finitely.
+        images = np.repeat(cifar_tiny.train_images[:1], 2, axis=0)
+        model.fit(images)
+        codes = model.encode(images)
+        assert np.isfinite(codes).all()
+
+    def test_constant_features_do_not_crash_shallow_methods(self, cifar_tiny):
+        from repro.baselines import ITQ, LSH
+
+        def constant_features(images):
+            return np.ones((images.shape[0], 16))
+
+        for cls in (LSH, ITQ):
+            m = cls(8, constant_features, seed=0)
+            m.fit(cifar_tiny.train_images)
+            codes = m.encode(cifar_tiny.query_images[:4])
+            assert codes.shape == (4, 8)
+            assert np.isfinite(codes).all()
+
+
+class TestConfigBoundaries:
+    def test_lam_one_keeps_only_identical_pairs(self, clip, cifar_tiny):
+        """λ=1.0 makes Ψ nearly empty — training must still proceed via L_s."""
+        cfg = UHSCMConfig(n_bits=8, lam=1.0, train=TrainConfig(epochs=1))
+        model = UHSCM(cfg, clip=clip)
+        model.fit(cifar_tiny.train_images[:40])
+        assert np.isfinite(model.history_.total[-1])
+
+    def test_zero_alpha_and_beta(self, clip, cifar_tiny):
+        cfg = UHSCMConfig(n_bits=8, alpha=0.0, beta=0.0,
+                          train=TrainConfig(epochs=1))
+        model = UHSCM(cfg, clip=clip)
+        model.fit(cifar_tiny.train_images[:40])
+        assert np.isfinite(model.history_.total[-1])

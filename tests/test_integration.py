@@ -1,0 +1,138 @@
+"""End-to-end integration tests asserting the paper's qualitative claims.
+
+These run the real pipeline at small (but not minimal) scale, so they are the
+slowest tests in the suite — and the most meaningful: each asserts one of the
+relations the paper's evaluation is built on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import TrainConfig, UHSCMConfig, paper_config
+from repro.core.uhscm import UHSCM
+from repro.core.variants import get_variant
+from repro.datasets import SplitSizes, dataset_spec, generate_dataset
+from repro.retrieval import HammingIndex, evaluate_hashing, pack_codes
+from repro.vlp import SimCLIP
+from dataclasses import replace
+
+
+@pytest.fixture(scope="module")
+def cifar(world):
+    sizes = SplitSizes(train=200, query=40, database=800)
+    return generate_dataset(dataset_spec("cifar10"), sizes, world=world, seed=5)
+
+
+@pytest.fixture(scope="module")
+def nuswide(world):
+    sizes = SplitSizes(train=200, query=40, database=800)
+    return generate_dataset(dataset_spec("nuswide"), sizes, world=world, seed=5)
+
+
+def fit_uhscm(data, clip, n_bits=32, epochs=25, **overrides):
+    cfg = paper_config(data.name, n_bits=n_bits)
+    cfg = replace(cfg, train=TrainConfig(epochs=epochs), **overrides)
+    model = UHSCM(cfg, clip=clip)
+    model.fit(data.train_images)
+    return model
+
+
+@pytest.fixture(scope="module")
+def uhscm_cifar(cifar, clip):
+    return fit_uhscm(cifar, clip)
+
+
+class TestHeadlineClaims:
+    def test_uhscm_beats_lsh_substantially_on_cifar(self, cifar, clip,
+                                                    uhscm_cifar):
+        from repro.baselines import make_baseline
+
+        lsh = make_baseline("LSH", 32, cifar.world.vgg_features, seed=0)
+        lsh.fit(cifar.train_images)
+        lsh_map = evaluate_hashing(lsh, cifar, pn_points=(10,)).map
+        uhscm_map = evaluate_hashing(uhscm_cifar, cifar, pn_points=(10,)).map
+        assert uhscm_map > lsh_map + 0.2  # the paper's gap is ~0.57
+
+    def test_uhscm_beats_cib_on_cifar(self, cifar, clip, uhscm_cifar):
+        from repro.baselines import make_baseline
+
+        world = cifar.world
+        cib = make_baseline(
+            "CIB", 32, world.backbone_features, seed=0,
+            guidance_extractor=world.vgg_features,
+            augment_fn=lambda f, rng: world.augment_features(f, rng),
+            epochs=25,
+        )
+        cib.fit(cifar.train_images)
+        cib_map = evaluate_hashing(cib, cifar, pn_points=(10,)).map
+        uhscm_map = evaluate_hashing(uhscm_cifar, cifar, pn_points=(10,)).map
+        assert uhscm_map > cib_map
+
+    def test_multilabel_dataset_works(self, nuswide, clip):
+        model = fit_uhscm(nuswide, clip, epochs=20)
+        report = evaluate_hashing(model, nuswide, pn_points=(10,))
+        # Must beat the relevance base rate by a clear margin.
+        from repro.retrieval import relevance_matrix
+
+        base = relevance_matrix(nuswide.query_labels,
+                                nuswide.database_labels).mean()
+        assert report.map > base + 0.05
+
+
+class TestAblationDirections:
+    def test_denoising_helps_on_cifar(self, cifar, clip):
+        full = fit_uhscm(cifar, clip, epochs=20)
+        wo_de = fit_uhscm(cifar, clip, epochs=20, denoise=False)
+        m_full = evaluate_hashing(full, cifar, pn_points=(10,)).map
+        m_wo = evaluate_hashing(wo_de, cifar, pn_points=(10,)).map
+        assert m_full >= m_wo - 0.02  # denoising never hurts much, usually helps
+
+    def test_mcl_helps_on_cifar(self, cifar, clip, uhscm_cifar):
+        wo_mcl = fit_uhscm(cifar, clip, epochs=25, alpha=0.0)
+        m_full = evaluate_hashing(uhscm_cifar, cifar, pn_points=(10,)).map
+        m_wo = evaluate_hashing(wo_mcl, cifar, pn_points=(10,)).map
+        assert m_full > m_wo - 0.02
+
+    def test_mining_beats_raw_features_on_cifar(self, cifar, clip):
+        cfg = paper_config("cifar10", n_bits=32)
+        cfg = replace(cfg, train=TrainConfig(epochs=20))
+        uhscm_if = get_variant("if")(cfg, clip)
+        uhscm_if.fit(cifar.train_images)
+        full = fit_uhscm(cifar, clip, epochs=20)
+        m_if = evaluate_hashing(uhscm_if, cifar, pn_points=(10,)).map
+        m_full = evaluate_hashing(full, cifar, pn_points=(10,)).map
+        assert m_full > m_if
+
+
+class TestSystemConsistency:
+    def test_more_bits_do_not_hurt_much(self, cifar, clip):
+        short = fit_uhscm(cifar, clip, n_bits=16, epochs=20)
+        long = fit_uhscm(cifar, clip, n_bits=64, epochs=20)
+        m_short = evaluate_hashing(short, cifar, pn_points=(10,)).map
+        m_long = evaluate_hashing(long, cifar, pn_points=(10,)).map
+        assert m_long > m_short - 0.05
+
+    def test_index_agrees_with_bruteforce(self, cifar, uhscm_cifar):
+        query = uhscm_cifar.encode(cifar.query_images[:5])
+        db = uhscm_cifar.encode(cifar.database_images)
+        index = HammingIndex(32).add(db)
+        idx, dist = index.search(query, top_k=5)
+        from repro.retrieval import hamming_distance_matrix
+
+        brute = hamming_distance_matrix(query, db)
+        for qi in range(5):
+            order = np.argsort(brute[qi], kind="stable")[:5]
+            np.testing.assert_array_equal(idx[qi], order)
+
+    def test_codes_pack_losslessly(self, cifar, uhscm_cifar):
+        codes = uhscm_cifar.encode(cifar.query_images[:8])
+        from repro.retrieval import unpack_codes
+
+        np.testing.assert_array_equal(unpack_codes(pack_codes(codes)), codes)
+
+    def test_deterministic_end_to_end(self, cifar, world):
+        a = fit_uhscm(cifar, SimCLIP(world), epochs=3)
+        b = fit_uhscm(cifar, SimCLIP(world), epochs=3)
+        np.testing.assert_array_equal(
+            a.encode(cifar.query_images[:10]), b.encode(cifar.query_images[:10])
+        )

@@ -1,0 +1,120 @@
+"""Tests for multi-index hashing — exactness vs. brute force is the key
+property."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import NotFittedError, ShapeError
+from repro.retrieval.engine import HammingIndex
+from repro.retrieval.multi_index import (
+    MultiIndexHammingIndex,
+    _keys_within_radius,
+    _split_points,
+    _substring_key,
+)
+
+
+def random_codes(n, k, seed=0):
+    rng = np.random.default_rng(seed)
+    return np.where(rng.random((n, k)) < 0.5, -1.0, 1.0)
+
+
+class TestHelpers:
+    def test_split_points_cover_exactly(self):
+        spans = _split_points(10, 3)
+        assert spans == [(0, 4), (4, 7), (7, 10)]
+
+    def test_substring_key(self):
+        assert _substring_key(np.array([True, False, True])) == 0b101
+
+    def test_keys_within_radius(self):
+        keys = _keys_within_radius(0b00, width=2, radius=1)
+        assert set(keys) == {0b00, 0b01, 0b10}
+
+    def test_keys_radius_counts(self):
+        # C(4,0)+C(4,1)+C(4,2) = 1+4+6.
+        assert len(_keys_within_radius(0, width=4, radius=2)) == 11
+
+
+class TestRadiusSearch:
+    @pytest.mark.parametrize("radius", [0, 2, 5, 16])
+    def test_matches_bruteforce(self, radius):
+        db = random_codes(200, 16, seed=1)
+        queries = random_codes(10, 16, seed=2)
+        mih = MultiIndexHammingIndex(16, n_tables=4).add(db)
+        brute = HammingIndex(16).add(db)
+        expected = brute.radius_search(queries, radius)
+        got = mih.radius_search(queries, radius)
+        for e, g in zip(expected, got):
+            np.testing.assert_array_equal(np.sort(e), g)
+
+    @given(st.integers(0, 500), st.integers(1, 6))
+    @settings(max_examples=25, deadline=None)
+    def test_property_exact_at_any_radius(self, seed, n_tables):
+        k = 12
+        db = random_codes(60, k, seed=seed)
+        queries = random_codes(3, k, seed=seed + 1)
+        radius = int(np.random.default_rng(seed).integers(0, k + 1))
+        mih = MultiIndexHammingIndex(k, n_tables=n_tables).add(db)
+        brute = HammingIndex(k).add(db)
+        for e, g in zip(brute.radius_search(queries, radius),
+                        mih.radius_search(queries, radius)):
+            np.testing.assert_array_equal(np.sort(e), g)
+
+    def test_validation(self):
+        mih = MultiIndexHammingIndex(8, n_tables=2)
+        with pytest.raises(NotFittedError):
+            mih.radius_search(random_codes(1, 8), 2)
+        mih.add(random_codes(10, 8))
+        with pytest.raises(ShapeError):
+            mih.radius_search(random_codes(1, 8), 99)
+        with pytest.raises(ShapeError):
+            mih.radius_search(random_codes(1, 16), 2)
+
+
+class TestTopK:
+    def test_matches_bruteforce_ranking(self):
+        db = random_codes(150, 16, seed=3)
+        queries = random_codes(8, 16, seed=4)
+        mih = MultiIndexHammingIndex(16, n_tables=4).add(db)
+        brute = HammingIndex(16).add(db)
+        b_idx, b_dist = brute.search(queries, top_k=7)
+        m_idx, m_dist = mih.search(queries, top_k=7)
+        np.testing.assert_array_equal(b_dist, m_dist)
+        np.testing.assert_array_equal(b_idx, m_idx)
+
+    def test_top_k_bounds(self):
+        mih = MultiIndexHammingIndex(8, n_tables=2).add(random_codes(5, 8))
+        with pytest.raises(ShapeError):
+            mih.search(random_codes(1, 8), top_k=50)
+
+
+class TestStructure:
+    def test_bucket_counts(self):
+        mih = MultiIndexHammingIndex(16, n_tables=4).add(random_codes(100, 16))
+        counts = mih.bucket_counts
+        assert len(counts) == 4
+        assert all(1 <= c <= 16 for c in counts)  # 4-bit substrings
+
+    def test_len(self):
+        mih = MultiIndexHammingIndex(8, n_tables=2)
+        assert len(mih) == 0
+        mih.add(random_codes(42, 8))
+        assert len(mih) == 42
+
+    def test_constructor_validation(self):
+        with pytest.raises(ShapeError):
+            MultiIndexHammingIndex(0)
+        with pytest.raises(ShapeError):
+            MultiIndexHammingIndex(8, n_tables=9)
+
+    def test_probe_is_sublinear(self):
+        """The probe should verify far fewer candidates than the corpus at
+        small radius — the whole point of MIH."""
+        db = random_codes(2000, 32, seed=5)
+        mih = MultiIndexHammingIndex(32, n_tables=4).add(db)
+        query = random_codes(1, 32, seed=6)
+        candidates = mih._candidates(query[0] > 0, radius=3)
+        assert candidates.size < 2000 * 0.25

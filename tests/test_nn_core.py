@@ -1,0 +1,203 @@
+"""Tests for nn functional ops, optimizers, losses, init, and VGG nets."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, ShapeError
+from repro.nn import init
+from repro.nn.functional import col2im, conv_output_size, im2col
+from repro.nn.layers import Linear
+from repro.nn.losses import (
+    binary_cross_entropy_with_logits,
+    mse_loss,
+    softmax_cross_entropy,
+)
+from repro.nn.optim import SGD, Adam
+from repro.nn.parameter import Parameter
+from repro.nn.vgg import VGG_CONFIGS, VGGHashNet, build_feature_hash_net
+from tests.conftest import numerical_gradient
+
+
+class TestFunctional:
+    def test_output_size(self):
+        assert conv_output_size(6, 3, 1, 1) == 6
+        assert conv_output_size(6, 2, 2, 0) == 3
+        with pytest.raises(ShapeError):
+            conv_output_size(2, 5, 1, 0)
+
+    def test_im2col_shape(self, rng):
+        cols, oh, ow = im2col(rng.normal(size=(2, 3, 5, 5)), kernel=3,
+                              stride=1, padding=1)
+        assert (oh, ow) == (5, 5)
+        assert cols.shape == (2 * 25, 3 * 9)
+
+    def test_col2im_is_adjoint_of_im2col(self, rng):
+        """<im2col(x), y> == <x, col2im(y)> — the defining adjoint property."""
+        x = rng.normal(size=(2, 2, 4, 4))
+        cols, _, _ = im2col(x, kernel=2, stride=2, padding=1)
+        y = rng.normal(size=cols.shape)
+        lhs = float((cols * y).sum())
+        rhs = float((x * col2im(y, x.shape, kernel=2, stride=2, padding=1)).sum())
+        assert lhs == pytest.approx(rhs, rel=1e-10)
+
+    def test_col2im_shape_check(self, rng):
+        with pytest.raises(ShapeError):
+            col2im(rng.normal(size=(3, 3)), (1, 1, 4, 4), kernel=2)
+
+
+class TestInit:
+    def test_xavier_uniform_bound(self):
+        w = init.xavier_uniform((100, 100), rng=0)
+        bound = np.sqrt(6.0 / 200)
+        assert np.abs(w).max() <= bound
+
+    def test_kaiming_std(self):
+        w = init.kaiming_normal((1000, 50), rng=0)
+        assert w.std() == pytest.approx(np.sqrt(2.0 / 1000), rel=0.1)
+
+    def test_conv_fans(self):
+        w = init.xavier_normal((8, 4, 3, 3), rng=0)
+        assert w.shape == (8, 4, 3, 3)
+
+    def test_bad_shape(self):
+        with pytest.raises(ValueError):
+            init.xavier_uniform((3,))
+
+
+class TestOptimizers:
+    def _quadratic_params(self):
+        return [Parameter(np.array([5.0, -3.0]), name="w")]
+
+    def test_sgd_converges_on_quadratic(self):
+        params = self._quadratic_params()
+        opt = SGD(params, learning_rate=0.1, momentum=0.9, weight_decay=0.0)
+        for _ in range(300):
+            opt.zero_grad()
+            params[0].grad[...] = 2 * params[0].data
+            opt.step()
+        assert np.abs(params[0].data).max() < 1e-3
+
+    def test_adam_converges_on_quadratic(self):
+        params = self._quadratic_params()
+        opt = Adam(params, learning_rate=0.2)
+        for _ in range(200):
+            opt.zero_grad()
+            params[0].grad[...] = 2 * params[0].data
+            opt.step()
+        assert np.abs(params[0].data).max() < 1e-2
+
+    def test_weight_decay_shrinks(self):
+        params = [Parameter(np.array([1.0]), name="w")]
+        opt = SGD(params, learning_rate=0.1, momentum=0.0, weight_decay=0.5)
+        opt.step()  # zero gradient: only decay acts
+        assert params[0].data[0] < 1.0
+
+    def test_weight_decay_respects_flag(self):
+        p = Parameter(np.array([1.0]), name="bn", weight_decay_enabled=False)
+        opt = SGD([p], learning_rate=0.1, momentum=0.0, weight_decay=0.5)
+        opt.step()
+        assert p.data[0] == pytest.approx(1.0)
+
+    def test_empty_params_raises(self):
+        with pytest.raises(ValueError):
+            SGD([], learning_rate=0.1)
+
+    @pytest.mark.parametrize("kwargs", [{"learning_rate": 0}, {"momentum": 1.0}])
+    def test_bad_hyperparams(self, kwargs):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(1))], **{"learning_rate": 0.1, **kwargs})
+
+
+class TestLosses:
+    def test_mse_value_and_gradient(self, rng):
+        pred = rng.normal(size=(3, 4))
+        target = rng.normal(size=(3, 4))
+        value, grad = mse_loss(pred, target)
+        assert value == pytest.approx(((pred - target) ** 2).mean())
+        num = numerical_gradient(lambda p: mse_loss(p, target)[0], pred.copy())
+        np.testing.assert_allclose(grad, num, atol=1e-7)
+
+    def test_cross_entropy_gradient(self, rng):
+        logits = rng.normal(size=(4, 3))
+        labels = np.array([0, 1, 2, 1])
+        _, grad = softmax_cross_entropy(logits, labels)
+        num = numerical_gradient(
+            lambda lg: softmax_cross_entropy(lg, labels)[0], logits.copy()
+        )
+        np.testing.assert_allclose(grad, num, atol=1e-7)
+
+    def test_cross_entropy_perfect_prediction(self):
+        logits = np.array([[100.0, 0.0], [0.0, 100.0]])
+        value, _ = softmax_cross_entropy(logits, np.array([0, 1]))
+        assert value == pytest.approx(0.0, abs=1e-6)
+
+    def test_bce_gradient(self, rng):
+        logits = rng.normal(size=(3, 2))
+        targets = (rng.random((3, 2)) > 0.5).astype(float)
+        _, grad = binary_cross_entropy_with_logits(logits, targets)
+        num = numerical_gradient(
+            lambda lg: binary_cross_entropy_with_logits(lg, targets)[0],
+            logits.copy(),
+        )
+        np.testing.assert_allclose(grad, num, atol=1e-7)
+
+    def test_bce_stable_extremes(self):
+        value, _ = binary_cross_entropy_with_logits(
+            np.array([[1e4, -1e4]]), np.array([[1.0, 0.0]])
+        )
+        assert np.isfinite(value)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ShapeError):
+            mse_loss(np.zeros((2, 2)), np.zeros((2, 3)))
+
+
+class TestVGG:
+    def test_configs_exist(self):
+        assert set(VGG_CONFIGS) == {"tiny", "small", "vgg19"}
+        assert VGG_CONFIGS["vgg19"].count("M") == 5
+        assert sum(1 for c in VGG_CONFIGS["vgg19"] if isinstance(c, int)) == 16
+
+    def test_tiny_forward_and_range(self, rng):
+        net = VGGHashNet(8, image_size=8, profile="tiny", rng=0)
+        out = net(rng.normal(size=(2, 3, 8, 8)))
+        assert out.shape == (2, 8)
+        assert np.all(np.abs(out) <= 1.0)
+
+    def test_backward_runs(self, rng):
+        net = VGGHashNet(4, image_size=8, profile="tiny", rng=0)
+        out = net(rng.normal(size=(2, 3, 8, 8)))
+        net.backward(np.ones_like(out))
+        assert any(np.abs(p.grad).sum() > 0 for p in net.parameters())
+
+    def test_shape_validation(self, rng):
+        net = VGGHashNet(4, image_size=8, profile="tiny", rng=0)
+        with pytest.raises(ShapeError):
+            net(rng.normal(size=(2, 3, 16, 16)))
+
+    def test_too_deep_for_image_raises(self):
+        with pytest.raises(ConfigurationError):
+            VGGHashNet(4, image_size=8, profile="vgg19")
+
+    def test_paper_profile_structure(self):
+        net = VGGHashNet.paper_profile(64)
+        convs = sum(1 for m in net.stem.layers if m.__class__.__name__ == "Conv2d")
+        linears = sum(
+            1 for m in net.head.layers if isinstance(m, Linear)
+        )
+        assert convs == 16  # VGG19 = 16 conv + 3 FC layers
+        assert linears == 3
+
+    def test_feature_hash_net(self, rng):
+        net = build_feature_hash_net(16, feature_dim=10, rng=0)
+        out = net(rng.normal(size=(4, 10)))
+        assert out.shape == (4, 16)
+        assert np.all(np.abs(out) <= 1.0)
+
+    def test_bad_args(self):
+        with pytest.raises(ConfigurationError):
+            VGGHashNet(0, profile="tiny")
+        with pytest.raises(ConfigurationError):
+            VGGHashNet(8, profile="nope")
+        with pytest.raises(ConfigurationError):
+            build_feature_hash_net(8, feature_dim=0)

@@ -1,0 +1,95 @@
+"""Last-mile coverage: retrieval report rendering, engine radius bounds,
+SH/AGH numeric edge cases, and hypothesis checks on the keep-band algebra."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.denoising import keep_mask
+from repro.retrieval import HammingIndex
+from repro.retrieval.engine import RetrievalReport
+from repro.retrieval.metrics import PRCurve
+
+
+def random_codes(n, k, seed=0):
+    rng = np.random.default_rng(seed)
+    return np.where(rng.random((n, k)) < 0.5, -1.0, 1.0)
+
+
+class TestReportRendering:
+    def test_str_contains_all_metrics(self):
+        report = RetrievalReport(
+            map=0.5,
+            precision_at_n={10: 0.6},
+            pr_curve=PRCurve(np.arange(3), np.ones(3), np.linspace(0, 1, 3)),
+            n_bits=16,
+        )
+        text = str(report)
+        assert "MAP=0.500" in text and "P@10=0.600" in text and "k=16" in text
+
+
+class TestEngineRadiusBounds:
+    def test_radius_zero_returns_exact_matches_only(self):
+        db = np.array([[1.0, 1.0], [1.0, -1.0]])
+        index = HammingIndex(2).add(db)
+        hits = index.radius_search(np.array([[1.0, 1.0]]), radius=0)
+        np.testing.assert_array_equal(hits[0], [0])
+
+    def test_radius_k_returns_everything(self):
+        db = random_codes(20, 8, seed=1)
+        index = HammingIndex(8).add(db)
+        hits = index.radius_search(random_codes(1, 8, seed=2), radius=8)
+        assert hits[0].size == 20
+
+    def test_negative_radius_rejected(self):
+        index = HammingIndex(8).add(random_codes(5, 8))
+        from repro.errors import ShapeError
+
+        with pytest.raises(ShapeError):
+            index.radius_search(random_codes(1, 8), radius=-1)
+
+
+class TestKeepBandAlgebra:
+    @given(st.integers(2, 500), st.integers(2, 120))
+    @settings(max_examples=60, deadline=None)
+    def test_band_always_admits_uniform_frequency(self, n, m):
+        """A perfectly uniform concept (f = n/m) must always be kept:
+        0.5 n/m <= n/m <= 0.5 n whenever m >= 2."""
+        freq = np.full(m, n / m)
+        assert keep_mask(freq, n).all()
+
+    @given(st.integers(4, 500), st.integers(2, 120))
+    @settings(max_examples=60, deadline=None)
+    def test_band_rejects_all_or_nothing(self, n, m):
+        freq = np.zeros(m)
+        freq[0] = n  # one concept wins everything, the rest never win
+        mask = keep_mask(freq, n)
+        assert not mask[0]
+        assert not mask[1:].any()
+
+
+class TestShallowNumericEdges:
+    def test_sh_handles_near_constant_direction(self, cifar_tiny):
+        """A PCA direction with ~zero range must not divide by zero."""
+        from repro.baselines.sh import SpectralHashing
+
+        def features_with_constant_column(images):
+            base = cifar_tiny.world.vgg_features(images)
+            out = base.copy()
+            out[:, 0] = 3.14  # constant column -> zero variance direction
+            return out
+
+        m = SpectralHashing(8, features_with_constant_column, seed=0)
+        m.fit(cifar_tiny.train_images)
+        codes = m.encode(cifar_tiny.query_images[:5])
+        assert np.isfinite(codes).all()
+
+    def test_agh_more_anchors_than_points_clamps(self, cifar_tiny):
+        from repro.baselines.agh import AGH
+
+        m = AGH(4, cifar_tiny.world.vgg_features, seed=0, n_anchors=10_000)
+        m.fit(cifar_tiny.train_images[:30])
+        assert m._anchors.shape[0] == 30
+        codes = m.encode(cifar_tiny.query_images[:3])
+        assert codes.shape == (3, 4)

@@ -1,0 +1,69 @@
+"""Focused tests for the reporting containers' less-travelled paths."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.experiments.reporting import (
+    CurveFamily,
+    MapTable,
+    SweepResult,
+    TimingTable,
+)
+
+
+class TestMapTableAccessors:
+    def test_record_orders_axes_by_first_seen(self):
+        t = MapTable(title="x")
+        t.record("B", "d2", 64, 0.2)
+        t.record("A", "d1", 32, 0.1)
+        assert t.methods == ["B", "A"]
+        assert t.datasets == ["d2", "d1"]
+        assert t.bit_lengths == [64, 32]
+
+    def test_value_roundtrip(self):
+        t = MapTable(title="x")
+        t.record("m", "d", 32, 0.777)
+        assert t.value("m", "d", 32) == pytest.approx(0.777)
+
+    def test_missing_value_raises(self):
+        t = MapTable(title="x")
+        t.record("m", "d", 32, 0.5)
+        with pytest.raises(KeyError):
+            t.value("m", "d", 64)
+
+
+class TestSweepResult:
+    def test_best_value_argmax(self):
+        s = SweepResult(parameter="alpha", dataset="cifar10")
+        for v, m in [(0.1, 0.5), (0.2, 0.9), (0.3, 0.7)]:
+            s.record(v, m)
+        assert s.best_value == pytest.approx(0.2)
+
+    def test_render_contains_all_points(self):
+        s = SweepResult(parameter="beta", dataset="d")
+        s.record(0.001, 0.8)
+        out = s.render()
+        assert "beta" in out and "0.800" in out
+
+
+class TestTimingTable:
+    def test_render_sorted_datasets(self):
+        t = TimingTable(title="Timing")
+        t.record("m1", "zeta", 1.0)
+        t.record("m1", "alpha", 2.0)
+        out = t.render()
+        assert out.index("alpha") < out.index("zeta")
+
+
+class TestCurveFamilyValidation:
+    def test_arrays_coerced_to_float(self):
+        f = CurveFamily(title="t", x_label="x", y_label="y")
+        f.record("m", [1, 2, 3], [0.1, 0.2, 0.3])
+        assert f.x_values["m"].dtype == np.float64
+
+    def test_methods_property(self):
+        f = CurveFamily(title="t", x_label="x", y_label="y")
+        f.record("a", [1], [1.0])
+        f.record("b", [1], [0.5])
+        assert f.methods == ["a", "b"]

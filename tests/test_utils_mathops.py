@@ -1,0 +1,142 @@
+"""Unit + property tests for repro.utils.mathops."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import array_shapes, arrays
+
+from repro.errors import ShapeError
+from repro.utils.mathops import (
+    cosine_similarity_matrix,
+    l2_normalize,
+    pairwise_inner,
+    sign,
+    softmax,
+    stable_exp,
+)
+
+finite_floats = st.floats(
+    min_value=-50, max_value=50, allow_nan=False, allow_infinity=False
+)
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        x = np.array([[1.0, 2.0, 3.0], [0.0, 0.0, 0.0]])
+        out = softmax(x)
+        np.testing.assert_allclose(out.sum(axis=1), 1.0)
+
+    def test_uniform_for_equal_scores(self):
+        out = softmax(np.zeros((2, 4)))
+        np.testing.assert_allclose(out, 0.25)
+
+    def test_temperature_sharpens(self):
+        x = np.array([[0.1, 0.9]])
+        soft = softmax(x, temperature=1.0)
+        sharp = softmax(x, temperature=50.0)
+        assert sharp[0, 1] > soft[0, 1]
+
+    def test_large_values_stable(self):
+        out = softmax(np.array([[1000.0, 1001.0]]))
+        assert np.isfinite(out).all()
+
+    def test_rejects_nonpositive_temperature(self):
+        with pytest.raises(ValueError):
+            softmax(np.ones((1, 2)), temperature=0.0)
+
+    @given(
+        arrays(np.float64, array_shapes(min_dims=2, max_dims=2, min_side=1,
+                                        max_side=6), elements=finite_floats),
+        st.floats(min_value=0.1, max_value=10.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_distribution(self, x, temp):
+        out = softmax(x, temperature=temp)
+        assert np.all(out >= 0)
+        np.testing.assert_allclose(out.sum(axis=-1), 1.0, atol=1e-9)
+
+
+class TestL2Normalize:
+    def test_unit_norm(self):
+        out = l2_normalize(np.array([[3.0, 4.0]]))
+        np.testing.assert_allclose(np.linalg.norm(out, axis=1), 1.0)
+
+    def test_zero_rows_stay_zero(self):
+        out = l2_normalize(np.zeros((2, 3)))
+        np.testing.assert_allclose(out, 0.0)
+
+
+class TestCosineSimilarity:
+    def test_self_similarity_is_one(self):
+        x = np.random.default_rng(0).normal(size=(5, 8))
+        sims = cosine_similarity_matrix(x)
+        np.testing.assert_allclose(np.diag(sims), 1.0)
+
+    def test_symmetric(self):
+        x = np.random.default_rng(1).normal(size=(6, 4))
+        sims = cosine_similarity_matrix(x)
+        np.testing.assert_allclose(sims, sims.T)
+
+    def test_orthogonal_vectors(self):
+        sims = cosine_similarity_matrix(np.eye(3))
+        np.testing.assert_allclose(sims, np.eye(3), atol=1e-12)
+
+    def test_two_matrices(self):
+        a = np.array([[1.0, 0.0]])
+        b = np.array([[0.0, 1.0], [1.0, 0.0]])
+        sims = cosine_similarity_matrix(a, b)
+        np.testing.assert_allclose(sims, [[0.0, 1.0]], atol=1e-12)
+
+    @given(
+        arrays(np.float64, st.tuples(st.integers(1, 6), st.integers(1, 6)),
+               elements=finite_floats)
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_bounded(self, x):
+        sims = cosine_similarity_matrix(x)
+        assert np.all(sims <= 1.0 + 1e-9)
+        assert np.all(sims >= -1.0 - 1e-9)
+
+
+class TestSign:
+    def test_zero_maps_to_minus_one(self):
+        # Paper §3.2: sgn "returns 1 if the input is positive and returns
+        # -1 otherwise".
+        np.testing.assert_array_equal(sign(np.array([0.0])), [-1.0])
+
+    def test_signs(self):
+        np.testing.assert_array_equal(
+            sign(np.array([-2.0, 3.0, -0.1])), [-1.0, 1.0, -1.0]
+        )
+
+    @given(arrays(np.float64, st.integers(1, 20), elements=finite_floats))
+    @settings(max_examples=50, deadline=None)
+    def test_property_binary(self, x):
+        out = sign(x)
+        assert set(np.unique(out)) <= {-1.0, 1.0}
+
+
+class TestPairwiseInner:
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ShapeError):
+            pairwise_inner(np.ones((2, 3)), np.ones((2, 4)))
+
+    def test_rank_check(self):
+        with pytest.raises(ShapeError):
+            pairwise_inner(np.ones(3))
+
+    def test_matches_matmul(self):
+        a = np.random.default_rng(2).normal(size=(3, 5))
+        b = np.random.default_rng(3).normal(size=(4, 5))
+        np.testing.assert_allclose(pairwise_inner(a, b), a @ b.T)
+
+
+class TestStableExp:
+    def test_no_overflow(self):
+        out = stable_exp(np.array([1e4, 1e4 + 1]))
+        assert np.isfinite(out).all()
+
+    def test_max_element_is_one(self):
+        out = stable_exp(np.array([1.0, 5.0, 3.0]))
+        assert out.max() == pytest.approx(1.0)

@@ -1,0 +1,154 @@
+"""Tests for rng plumbing, timer, tables, validation, and stable hashing."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.utils.hashing import stable_seed
+from repro.utils.rng import RngMixin, as_generator, spawn
+from repro.utils.tables import format_float, render_table
+from repro.utils.timer import Timer
+from repro.utils.validation import (
+    check_array,
+    check_binary_codes,
+    check_in_range,
+    check_positive,
+    check_probability_rows,
+)
+
+
+class TestRng:
+    def test_int_seed_deterministic(self):
+        a = as_generator(42).random(5)
+        b = as_generator(42).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert as_generator(gen) is gen
+
+    def test_spawn_independent(self):
+        children = spawn(as_generator(0), 3)
+        draws = [c.random() for c in children]
+        assert len(set(draws)) == 3
+
+    def test_spawn_negative_raises(self):
+        with pytest.raises(ValueError):
+            spawn(as_generator(0), -1)
+
+    def test_mixin(self):
+        class Thing(RngMixin):
+            pass
+
+        t = Thing(seed=5)
+        assert isinstance(t.rng, np.random.Generator)
+
+
+class TestStableSeed:
+    def test_deterministic(self):
+        assert stable_seed(1, "cat") == stable_seed(1, "cat")
+
+    def test_distinct_inputs_distinct_seeds(self):
+        seeds = {stable_seed(i, "x") for i in range(100)}
+        assert len(seeds) == 100
+
+    def test_type_sensitive(self):
+        assert stable_seed(1) != stable_seed("1")
+
+    def test_in_63_bit_range(self):
+        s = stable_seed("anything", 123)
+        assert 0 <= s < 2**63
+
+
+class TestTimer:
+    def test_context_manager_accumulates(self):
+        t = Timer()
+        with t:
+            time.sleep(0.01)
+        assert t.elapsed > 0
+        first = t.elapsed
+        with t:
+            time.sleep(0.01)
+        assert t.elapsed > first
+
+    def test_double_start_raises(self):
+        t = Timer().start()
+        with pytest.raises(RuntimeError):
+            t.start()
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Timer().stop()
+
+    def test_minutes(self):
+        t = Timer(elapsed=120.0)
+        assert t.minutes == pytest.approx(2.0)
+
+    def test_reset(self):
+        t = Timer(elapsed=5.0)
+        t.reset()
+        assert t.elapsed == 0.0 and not t.running
+
+
+class TestTables:
+    def test_render_alignment(self):
+        out = render_table(["a", "bb"], [["x", 1.23456], ["yy", 2.0]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert "1.235" in out
+
+    def test_title(self):
+        out = render_table(["h"], [["v"]], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_row_length_mismatch(self):
+        with pytest.raises(ValueError):
+            render_table(["a"], [["x", "y"]])
+
+    def test_format_float(self):
+        assert format_float(0.8314) == "0.831"
+        assert format_float(1.0, digits=1) == "1.0"
+
+
+class TestValidation:
+    def test_check_array_shape(self):
+        arr = check_array([[1, 2]], "x", shape=(1, 2))
+        assert arr.shape == (1, 2)
+
+    def test_check_array_wildcard(self):
+        check_array(np.zeros((3, 7)), "x", shape=(None, 7))
+
+    def test_check_array_bad_rank(self):
+        with pytest.raises(ShapeError):
+            check_array(np.zeros(3), "x", ndim=2)
+
+    def test_check_array_bad_axis(self):
+        with pytest.raises(ShapeError):
+            check_array(np.zeros((3, 4)), "x", shape=(3, 5))
+
+    def test_check_positive(self):
+        assert check_positive(1.5, "v") == 1.5
+        with pytest.raises(ValueError):
+            check_positive(0.0, "v")
+        assert check_positive(0.0, "v", strict=False) == 0.0
+
+    def test_check_in_range(self):
+        assert check_in_range(0.5, "v", 0, 1) == 0.5
+        with pytest.raises(ValueError):
+            check_in_range(2.0, "v", 0, 1)
+        with pytest.raises(ValueError):
+            check_in_range(0.0, "v", 0, 1, inclusive=False)
+
+    def test_check_binary_codes(self):
+        check_binary_codes(np.array([[1.0, -1.0]]))
+        with pytest.raises(ShapeError):
+            check_binary_codes(np.array([[0.5, 1.0]]))
+
+    def test_check_probability_rows(self):
+        check_probability_rows(np.array([[0.5, 0.5]]))
+        with pytest.raises(ShapeError):
+            check_probability_rows(np.array([[0.5, 0.6]]))
+        with pytest.raises(ShapeError):
+            check_probability_rows(np.array([[-0.1, 1.1]]))

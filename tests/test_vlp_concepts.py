@@ -1,0 +1,107 @@
+"""Tests for the concept vocabularies and alias logic."""
+
+import pytest
+
+from repro.errors import VocabularyError
+from repro.vlp.concepts import (
+    ALIASES,
+    CIFAR10_CLASSES,
+    COCO_80,
+    HYPERNYMS,
+    MIRFLICKR_24,
+    NUS_WIDE_21,
+    NUS_WIDE_81,
+    canonical,
+    canonical_set,
+    get_vocabulary,
+    union_vocabulary,
+)
+
+
+class TestVocabularySizes:
+    def test_nuswide_has_81(self):
+        assert len(NUS_WIDE_81) == 81
+        assert len(set(NUS_WIDE_81)) == 81
+
+    def test_coco_has_80(self):
+        assert len(COCO_80) == 80
+        assert len(set(COCO_80)) == 80
+
+    def test_cifar_has_10(self):
+        assert len(CIFAR10_CLASSES) == 10
+
+    def test_nuswide21_subset_of_81(self):
+        assert set(NUS_WIDE_21) <= set(NUS_WIDE_81)
+        assert len(NUS_WIDE_21) == 21
+
+    def test_mirflickr_has_24(self):
+        assert len(MIRFLICKR_24) == 24
+
+    def test_union_is_153(self):
+        # Paper §4.4.1: NUS-WIDE(81) ∪ COCO(80) = 153 distinct names.
+        assert len(union_vocabulary(NUS_WIDE_81, COCO_80)) == 153
+
+
+class TestCanonical:
+    @pytest.mark.parametrize(
+        "surface,expected",
+        [
+            ("birds", "bird"),
+            ("automobile", "car"),
+            ("cars", "car"),
+            ("plane", "airplane"),
+            ("ship", "boat"),
+            ("sea", "ocean"),
+            ("plant life", "plant"),
+            ("cat", "cat"),
+            ("  CAT ", "cat"),
+        ],
+    )
+    def test_aliases(self, surface, expected):
+        assert canonical(surface) == expected
+
+    def test_empty_raises(self):
+        with pytest.raises(VocabularyError):
+            canonical("   ")
+
+    def test_canonical_set(self):
+        ids = canonical_set(("birds", "bird", "cat"))
+        assert ids == frozenset({"bird", "cat"})
+
+    def test_alias_values_are_canonical(self):
+        # No alias should map to another alias's key (no chains).
+        for target in ALIASES.values():
+            assert target not in ALIASES
+
+
+class TestCoverageStructure:
+    def test_coco_covers_more_cifar_classes_than_nuswide(self):
+        """The geometry behind ablation 4.4.1: COCO fits CIFAR10 better."""
+        cifar = canonical_set(CIFAR10_CLASSES)
+        coco_cover = len(cifar & canonical_set(COCO_80))
+        nus_cover = len(cifar & canonical_set(NUS_WIDE_81))
+        assert coco_cover > nus_cover
+
+    def test_nuswide_covers_own_eval_classes(self):
+        assert canonical_set(NUS_WIDE_21) <= canonical_set(NUS_WIDE_81)
+
+    def test_nuswide_covers_more_mirflickr_than_coco(self):
+        mir = canonical_set(MIRFLICKR_24)
+        assert len(mir & canonical_set(NUS_WIDE_81)) > len(
+            mir & canonical_set(COCO_80)
+        )
+
+    def test_hypernym_members_resolve(self):
+        for members in HYPERNYMS.values():
+            for m in members:
+                assert canonical(m)  # no VocabularyError
+
+
+class TestRegistry:
+    def test_get_vocabulary(self):
+        assert get_vocabulary("nuswide81") == NUS_WIDE_81
+        assert len(get_vocabulary("nus&coco")) == 153
+
+    def test_unknown(self):
+        with pytest.raises(VocabularyError):
+            get_vocabulary("imagenet")

@@ -1,0 +1,160 @@
+"""Tests for the tokenizer, text encoder, prompts, and SimCLIP."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, VocabularyError
+from repro.vlp.clip import SimCLIP, resolve_template
+from repro.vlp.prompts import PAPER_TEMPLATES, PromptTemplate, paper_template
+from repro.vlp.text_encoder import CAPTION_STOPWORDS, TextEncoder
+from repro.vlp.tokenizer import Vocabulary, tokenize
+
+
+class TestTokenizer:
+    def test_basic(self):
+        assert tokenize("A photo of the Cat!") == ["a", "photo", "of", "the", "cat"]
+
+    def test_numbers_and_apostrophes(self):
+        assert tokenize("it's 42") == ["it's", "42"]
+
+    def test_empty(self):
+        assert tokenize("...") == []
+
+
+class TestVocabulary:
+    def test_roundtrip(self):
+        v = Vocabulary(["cat", "dog"])
+        assert v.decode(v.encode("cat dog")) == "cat dog"
+
+    def test_unk(self):
+        v = Vocabulary(["cat"])
+        assert v.encode("zebra") == [0]
+        assert v.word_of(0) == Vocabulary.UNK
+
+    def test_contains_and_len(self):
+        v = Vocabulary(["cat"])
+        assert "cat" in v and "dog" not in v
+        assert len(v) == 2  # unk + cat
+
+    def test_add_idempotent(self):
+        v = Vocabulary()
+        assert v.add("cat") == v.add("CAT")
+
+    def test_bad_inputs(self):
+        v = Vocabulary()
+        with pytest.raises(VocabularyError):
+            v.add(" ")
+        with pytest.raises(VocabularyError):
+            v.word_of(99)
+
+
+class TestPrompts:
+    def test_paper_templates(self):
+        assert PAPER_TEMPLATES["default"] == "a photo of the {concept}"
+        assert paper_template("p1").format("cat") == "the cat"
+        assert paper_template("p2").format("cat") == "it contains the cat"
+
+    def test_format_all(self):
+        t = paper_template("default")
+        assert t.format_all(["cat", "dog"]) == [
+            "a photo of the cat",
+            "a photo of the dog",
+        ]
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PromptTemplate("no placeholder")
+        with pytest.raises(ConfigurationError):
+            paper_template("p9")
+        with pytest.raises(ConfigurationError):
+            paper_template("default").format("  ")
+
+    def test_resolve_template(self):
+        assert resolve_template(None).template == PAPER_TEMPLATES["default"]
+        assert resolve_template("p1").template == PAPER_TEMPLATES["p1"]
+        assert resolve_template("look at {concept}").template == "look at {concept}"
+        t = paper_template("p2")
+        assert resolve_template(t) is t
+
+
+class TestTextEncoder:
+    def test_unit_norm(self, world):
+        enc = TextEncoder(world)
+        v = enc.encode("a photo of the cat")
+        assert np.linalg.norm(v) == pytest.approx(1.0)
+
+    def test_grounding(self, world):
+        enc = TextEncoder(world)
+        v = enc.encode("a photo of the cat")
+        assert v @ world.concept_direction("cat") > 0.6
+
+    def test_deterministic(self, world):
+        enc = TextEncoder(world)
+        np.testing.assert_array_equal(
+            enc.encode("a photo of the dog"), enc.encode("a photo of the dog")
+        )
+
+    def test_default_template_best_aligned(self, world):
+        """The ablation-4.4.3 mechanism: the caption-style template aligns
+        best with the concept direction."""
+        enc = TextEncoder(world)
+        concepts = ["cat", "dog", "tree", "bridge", "flowers", "ocean"]
+        def mean_alignment(template):
+            return np.mean([
+                enc.encode(template.format(concept=c))
+                @ world.concept_direction(c)
+                for c in concepts
+            ])
+
+        default = mean_alignment("a photo of the {concept}")
+        p1 = mean_alignment("the {concept}")
+        p2 = mean_alignment("it contains the {concept}")
+        assert default > p1
+        assert default > p2
+
+    def test_empty_prompt_raises(self, world):
+        with pytest.raises(ConfigurationError):
+            TextEncoder(world).encode("!!!")
+
+    def test_stopwords_include_template_words(self):
+        for w in ("a", "photo", "of", "the"):
+            assert w in CAPTION_STOPWORDS
+
+    def test_batch(self, world):
+        enc = TextEncoder(world)
+        out = enc.encode_batch(["the cat", "the dog"])
+        assert out.shape == (2, world.config.latent_dim)
+        with pytest.raises(ConfigurationError):
+            enc.encode_batch([])
+
+
+class TestSimCLIP:
+    def test_scores_in_unit_interval(self, clip, world, rng):
+        lat = np.stack([world.image_latent(["cat"], rng=rng) for _ in range(5)])
+        images = world.render(lat, rng=rng)
+        s = clip.score_concepts(images, ["cat", "dog", "sky"])
+        assert s.shape == (5, 3)
+        assert np.all((s >= 0) & (s <= 1))
+
+    def test_present_concept_scores_highest(self, clip, world, rng):
+        lat = np.stack([world.image_latent(["dog"], rng=rng) for _ in range(20)])
+        images = world.render(lat, rng=rng)
+        s = clip.score_concepts(images, ["dog", "bridge", "computer"])
+        assert (s.argmax(axis=1) == 0).mean() > 0.9
+
+    def test_encoders_unit_norm(self, clip, world, rng):
+        lat = np.stack([world.image_latent(["cat"], rng=rng) for _ in range(3)])
+        images = world.render(lat, rng=rng)
+        img = clip.encode_images(images)
+        txt = clip.encode_texts(["a photo of the cat"])
+        np.testing.assert_allclose(np.linalg.norm(img, axis=1), 1.0)
+        np.testing.assert_allclose(np.linalg.norm(txt, axis=1), 1.0)
+
+    def test_empty_concepts_raises(self, clip, world, rng):
+        lat = world.image_latent(["cat"], rng=rng)
+        images = world.render(lat, rng=rng)
+        with pytest.raises(ConfigurationError):
+            clip.score_concepts(images, [])
+
+    def test_default_world_constructible(self):
+        assert SimCLIP().world is not None

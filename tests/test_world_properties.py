@@ -1,0 +1,62 @@
+"""Property-based tests for the semantic world's structural invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.vlp.concepts import NUS_WIDE_81
+from repro.vlp.world import SemanticWorld, WorldConfig
+
+concept_names = st.sampled_from(list(NUS_WIDE_81))
+
+
+@settings(max_examples=25, deadline=None)
+@given(concept_names)
+def test_direction_unit_norm(name):
+    world = SemanticWorld(WorldConfig(seed=3))
+    assert np.linalg.norm(world.concept_direction(name)) == (
+        __import__("pytest").approx(1.0)
+    )
+
+
+@settings(max_examples=20, deadline=None)
+@given(concept_names, st.integers(0, 10_000))
+def test_image_latent_deterministic_per_seed(name, seed):
+    world = SemanticWorld(WorldConfig(seed=3))
+    a = world.image_latent([name], rng=seed)
+    b = world.image_latent([name], rng=seed)
+    np.testing.assert_array_equal(a, b)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 10_000))
+def test_render_is_linear_in_latents(seed):
+    """render(a+b) - pixelnoise == render(a) + render(b) up to noise; with
+    noiseless config the render map must be exactly additive."""
+    world = SemanticWorld(WorldConfig(seed=3, pixel_noise=0.0))
+    rng = np.random.default_rng(seed)
+    a = rng.normal(size=(1, world.config.latent_dim))
+    b = rng.normal(size=(1, world.config.latent_dim))
+    lhs = world.render(a + b, rng=0)
+    rhs = world.render(a, rng=0) + world.render(b, rng=0)
+    np.testing.assert_allclose(lhs, rhs, atol=1e-10)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 10_000))
+def test_backbone_features_invert_render_exactly_without_noise(seed):
+    world = SemanticWorld(WorldConfig(seed=3, pixel_noise=0.0))
+    rng = np.random.default_rng(seed)
+    z = rng.normal(size=(2, world.config.latent_dim))
+    images = world.render(z, rng=0)
+    np.testing.assert_allclose(world.backbone_features(images), z, atol=1e-9)
+
+
+@settings(max_examples=15, deadline=None)
+@given(concept_names, concept_names)
+def test_scores_symmetric_in_world_geometry(name_a, name_b):
+    """cos(u_a, u_b) == cos(u_b, u_a) and aliases collapse."""
+    world = SemanticWorld(WorldConfig(seed=3))
+    ua = world.concept_direction(name_a)
+    ub = world.concept_direction(name_b)
+    assert ua @ ub == __import__("pytest").approx(ub @ ua)
