@@ -7,8 +7,13 @@ Subcommands::
     python -m repro.cli table1  --scale 0.03 --bits 32 64
     python -m repro.cli table2  --scale 0.03
     python -m repro.cli export  --results benchmarks/results --out EXPERIMENTS.md
+    python -m repro.cli bench-retrieval --n 10000 --bits 64
 
-All commands run fully offline on the simulated substrate.
+``eval`` accepts ``--backend`` to route retrieval through any registered
+serving backend (see :mod:`repro.retrieval.backend`); ``bench-retrieval``
+times every backend's build + batch-search path on random codes and checks
+them against each other.  All commands run fully offline on the simulated
+substrate.
 """
 
 from __future__ import annotations
@@ -56,7 +61,44 @@ def _cmd_eval(args: argparse.Namespace) -> int:
     data = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
     clip = SimCLIP(data.world)
     model = load_uhscm(args.model, clip)
-    print(evaluate_hashing(model, data))
+    print(evaluate_hashing(model, data, backend=args.backend))
+    return 0
+
+
+def _cmd_bench_retrieval(args: argparse.Namespace) -> int:
+    import time
+
+    import numpy as np
+
+    from repro.retrieval import backend_names, make_backend
+
+    rng = np.random.default_rng(args.seed)
+    db = np.where(rng.random((args.n, args.bits)) < 0.5, -1.0, 1.0)
+    queries = np.where(rng.random((args.queries, args.bits)) < 0.5, -1.0, 1.0)
+    names = [args.backend] if args.backend else list(backend_names())
+    reference = None
+    print(f"retrieval bench: n={args.n} bits={args.bits} "
+          f"queries={args.queries} top_k={args.top_k}")
+    for name in names:
+        index = make_backend(name, args.bits)
+        t0 = time.perf_counter()
+        index.add(db)
+        t_build = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        ids, dist = index.search(queries, top_k=args.top_k)
+        t_search = time.perf_counter() - t0
+        agree = "n/a"
+        if reference is None:
+            reference = (ids, dist)
+        else:
+            same = (np.array_equal(reference[0], ids)
+                    and np.array_equal(reference[1], dist))
+            agree = "exact" if same else "MISMATCH"
+            if not same:
+                print(f"  {name}: results diverge from {names[0]}")
+                return 1
+        print(f"  {name:<12} build {t_build * 1e3:8.1f} ms   "
+              f"search {t_search * 1e3:8.1f} ms   agreement: {agree}")
     return 0
 
 
@@ -100,7 +142,25 @@ def build_parser() -> argparse.ArgumentParser:
     p_eval = sub.add_parser("eval", help="evaluate a saved model")
     _add_common(p_eval)
     p_eval.add_argument("--model", required=True)
+    p_eval.add_argument("--backend", default=None,
+                        help="serving backend for retrieval "
+                             "(e.g. bruteforce, multi-index); "
+                             "default: direct BLAS distances")
     p_eval.set_defaults(func=_cmd_eval)
+
+    p_bench = sub.add_parser(
+        "bench-retrieval",
+        help="time serving backends on random codes and cross-check them",
+    )
+    p_bench.add_argument("--n", type=int, default=10_000,
+                         help="database size")
+    p_bench.add_argument("--bits", type=int, default=64)
+    p_bench.add_argument("--queries", type=int, default=100)
+    p_bench.add_argument("--top-k", type=int, default=10)
+    p_bench.add_argument("--backend", default=None,
+                         help="bench a single backend (default: all)")
+    p_bench.add_argument("--seed", type=int, default=0)
+    p_bench.set_defaults(func=_cmd_bench_retrieval)
 
     p_t1 = sub.add_parser("table1", help="regenerate Table 1")
     _add_common(p_t1)

@@ -51,6 +51,10 @@ class ExperimentContext:
     scale: float = 0.02
     seed: int = 0
     epochs: int | None = None
+    #: Optional retrieval serving backend name (see repro.retrieval.backend);
+    #: None keeps the direct BLAS distance path.  All backends are exact, so
+    #: table/figure numbers are identical either way.
+    backend: str | None = None
     dataset: HashingDataset = field(init=False)
     clip: SimCLIP = field(init=False)
     _cache: dict[tuple[str, int], FitResult] = field(default_factory=dict)
@@ -121,6 +125,7 @@ class ExperimentContext:
 
     def evaluate(self, fit: FitResult, **kwargs) -> RetrievalReport:
         """Run the full §4.2 evaluation on a fit's codes."""
+        kwargs.setdefault("backend", self.backend)
         return evaluate_codes(
             fit.query_codes,
             fit.database_codes,
@@ -131,6 +136,7 @@ class ExperimentContext:
 
     def evaluate_model(self, model, **kwargs) -> RetrievalReport:
         """Evaluate an already-fitted model object (used by Table 2 / Fig 4)."""
+        kwargs.setdefault("backend", self.backend)
         return evaluate_codes(
             model.encode(self.dataset.query_images),
             model.encode(self.dataset.database_images),

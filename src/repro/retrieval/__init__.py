@@ -1,5 +1,19 @@
-"""Hamming retrieval engine and the paper's evaluation protocol (§4.2)."""
+"""Hamming retrieval engine and the paper's evaluation protocol (§4.2).
 
+The serving layer (:mod:`repro.retrieval.backend`) exposes every index
+through the :class:`RetrievalBackend` protocol: ``"bruteforce"`` is the
+bit-packed linear scan, ``"multi-index"`` the sublinear MIH structure, and
+both support incremental ``add()``/``remove()`` plus an optional LRU
+query-result cache.
+"""
+
+from repro.retrieval.backend import (
+    QueryResultCache,
+    RetrievalBackend,
+    backend_names,
+    make_backend,
+    register_backend,
+)
 from repro.retrieval.engine import (
     HammingIndex,
     Hasher,
@@ -11,6 +25,7 @@ from repro.retrieval.hamming import (
     PackedCodes,
     hamming_distance_matrix,
     pack_codes,
+    packed_distances_to_one,
     packed_hamming_distance,
     unpack_codes,
 )
@@ -35,17 +50,23 @@ __all__ = [
     "PAPER_PN_POINTS",
     "PRCurve",
     "PackedCodes",
+    "QueryResultCache",
+    "RetrievalBackend",
     "RetrievalReport",
     "average_precision",
+    "backend_names",
     "evaluate_codes",
     "evaluate_hashing",
     "hamming_distance_matrix",
+    "make_backend",
     "mean_average_precision",
     "mean_average_precision_from_distances",
     "pack_codes",
+    "packed_distances_to_one",
     "packed_hamming_distance",
     "pr_curve_hamming",
     "precision_at_n",
+    "register_backend",
     "relevance_matrix",
     "unpack_codes",
 ]

@@ -1,0 +1,153 @@
+"""Retrieval serving backends: protocol, registry, and query-result cache.
+
+The serving layer exposes every Hamming index through one interface so the
+evaluation harness, the CLI, and the benchmarks can swap implementations
+freely:
+
+- :class:`RetrievalBackend` — the structural protocol every index satisfies:
+  incremental :meth:`~RetrievalBackend.add` (append semantics),
+  :meth:`~RetrievalBackend.remove` by stable id, top-k
+  :meth:`~RetrievalBackend.search` and :meth:`~RetrievalBackend.radius_search`.
+- :func:`register_backend` / :func:`make_backend` — a tiny name registry.
+  ``"bruteforce"`` is the bit-packed linear-scan
+  :class:`~repro.retrieval.engine.HammingIndex`; ``"multi-index"`` is the
+  sublinear :class:`~repro.retrieval.multi_index.MultiIndexHammingIndex`.
+  The two are tested to agree bit-for-bit.
+- :class:`QueryResultCache` — an optional bounded LRU keyed on the packed
+  query bytes, for serving workloads with repeated queries.  Backends clear
+  it on every mutation, so cached results never go stale.
+
+Stable ids: rows are numbered in insertion order starting at 0 and keep
+their id for the lifetime of the index — ``remove()`` never renumbers.
+While no rows have been removed, ids coincide with row positions in the
+concatenation of all ``add()`` calls.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from collections.abc import Hashable
+from typing import Callable, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@runtime_checkable
+class RetrievalBackend(Protocol):
+    """Structural interface of a Hamming retrieval index.
+
+    Implementations index ±1 code matrices and answer exact top-k and
+    Hamming-radius queries over the *alive* rows, identifying results by
+    stable insertion-order ids.
+    """
+
+    n_bits: int
+
+    def add(self, codes: np.ndarray) -> "RetrievalBackend":  # pragma: no cover
+        """Append ±1 codes; newly added rows get the next stable ids."""
+        ...
+
+    def remove(self, ids: np.ndarray) -> int:  # pragma: no cover
+        """Remove rows by stable id; returns how many were removed."""
+        ...
+
+    def search(
+        self, query_codes: np.ndarray, top_k: int = 10
+    ) -> tuple[np.ndarray, np.ndarray]:  # pragma: no cover
+        """Exact top-k Hamming ranking: (ids, distances), ties by id."""
+        ...
+
+    def radius_search(
+        self, query_codes: np.ndarray, radius: int
+    ) -> list[np.ndarray]:  # pragma: no cover
+        """All alive ids within Hamming ``radius`` per query, sorted."""
+        ...
+
+    def __len__(self) -> int:  # pragma: no cover
+        """Number of alive (searchable) rows."""
+        ...
+
+
+_REGISTRY: dict[str, Callable[..., RetrievalBackend]] = {}
+
+
+def register_backend(name: str):
+    """Class decorator registering a backend factory under ``name``."""
+
+    def decorate(factory: Callable[..., RetrievalBackend]):
+        if name in _REGISTRY:
+            raise ConfigurationError(f"backend {name!r} already registered")
+        _REGISTRY[name] = factory
+        return factory
+
+    return decorate
+
+
+def _ensure_builtin_backends() -> None:
+    # Importing the modules runs their register_backend decorators; done
+    # lazily so `repro.retrieval.backend` has no import cycle with them.
+    import repro.retrieval.engine  # noqa: F401
+    import repro.retrieval.multi_index  # noqa: F401
+
+
+def backend_names() -> tuple[str, ...]:
+    """Registered backend names, sorted."""
+    _ensure_builtin_backends()
+    return tuple(sorted(_REGISTRY))
+
+
+def make_backend(name: str, n_bits: int, **kwargs) -> RetrievalBackend:
+    """Instantiate a registered backend by name."""
+    _ensure_builtin_backends()
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown retrieval backend {name!r}; "
+            f"choose from {sorted(_REGISTRY)}"
+        ) from None
+    return factory(n_bits, **kwargs)
+
+
+class QueryResultCache:
+    """Bounded LRU cache for per-query retrieval results.
+
+    Keys are built by the owning index from the packed query bytes plus the
+    query parameters, so identical queries at identical settings hit.  The
+    index clears the cache on every ``add``/``remove``.
+    """
+
+    def __init__(self, max_entries: int) -> None:
+        if max_entries <= 0:
+            raise ConfigurationError(
+                f"cache max_entries must be positive, got {max_entries}"
+            )
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        self._data: OrderedDict[Hashable, object] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def get(self, key: Hashable):
+        """Return the cached value (refreshing recency) or ``None``."""
+        try:
+            value = self._data.pop(key)
+        except KeyError:
+            self.misses += 1
+            return None
+        self._data[key] = value
+        self.hits += 1
+        return value
+
+    def put(self, key: Hashable, value: object) -> None:
+        self._data.pop(key, None)
+        self._data[key] = value
+        while len(self._data) > self.max_entries:
+            self._data.popitem(last=False)
+
+    def clear(self) -> None:
+        self._data.clear()

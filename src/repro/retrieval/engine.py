@@ -1,10 +1,21 @@
 """Hamming retrieval engine and one-call evaluation harness.
 
 :class:`HammingIndex` is the production-shaped piece: bit-packed storage,
-top-k Hamming ranking and radius lookup — what a deployed image-search
-system built on these hash codes would run.  :func:`evaluate_hashing` is the
-experiment-shaped piece: given a fitted hashing method and a dataset it
-computes every §4.2 metric in one pass.
+top-k Hamming ranking and radius lookup over an incrementally mutable corpus
+— what a deployed image-search system built on these hash codes would run.
+It registers as the ``"bruteforce"`` :mod:`~repro.retrieval.backend` and is
+the exactness reference for every other backend.
+
+:func:`evaluate_hashing` is the experiment-shaped piece: given a fitted
+hashing method and a dataset it computes every §4.2 metric in one pass.
+:func:`evaluate_codes` accepts an optional ``backend`` so the same metrics
+can be driven through any registered serving index instead of the direct
+BLAS distance path.
+
+Incremental semantics: ``add()`` appends (stable insertion-order ids),
+``remove(ids)`` drops rows by id without renumbering survivors, and all
+input validation happens at mutation time — queries are validated once per
+call, never per database row.
 """
 
 from __future__ import annotations
@@ -15,10 +26,15 @@ from typing import Protocol
 import numpy as np
 
 from repro.errors import NotFittedError, ShapeError
+from repro.retrieval.backend import (
+    QueryResultCache,
+    RetrievalBackend,
+    make_backend,
+    register_backend,
+)
 from repro.retrieval.hamming import (
     PackedCodes,
     hamming_distance_matrix,
-    pack_codes,
     packed_hamming_distance,
 )
 from repro.retrieval.metrics import (
@@ -30,6 +46,7 @@ from repro.retrieval.metrics import (
     precision_at_n,
 )
 from repro.retrieval.protocol import relevance_matrix
+from repro.utils.validation import check_binary_codes
 
 
 class Hasher(Protocol):
@@ -39,60 +56,173 @@ class Hasher(Protocol):
         ...
 
 
+@register_backend("bruteforce")
 class HammingIndex:
-    """Bit-packed Hamming nearest-neighbour index."""
+    """Bit-packed brute-force Hamming index with incremental updates.
 
-    def __init__(self, n_bits: int) -> None:
+    Parameters
+    ----------
+    n_bits:
+        Code length ``k``.
+    cache_size:
+        If positive, keep an LRU :class:`QueryResultCache` of per-query
+        results, cleared on every ``add``/``remove``.
+    """
+
+    def __init__(self, n_bits: int, cache_size: int = 0) -> None:
         if n_bits <= 0:
             raise ShapeError(f"n_bits must be positive: {n_bits}")
         self.n_bits = n_bits
-        self._packed: PackedCodes | None = None
+        self._bits = np.empty((0, (n_bits + 7) // 8), dtype=np.uint8)
+        self._ids = np.empty(0, dtype=np.int64)
+        self._next_id = 0
+        self._cache = QueryResultCache(cache_size) if cache_size else None
+
+    # -- mutation ---------------------------------------------------------------
 
     def add(self, codes: np.ndarray) -> "HammingIndex":
-        """Replace index contents with the given ±1 codes."""
-        if codes.shape[1] != self.n_bits:
-            raise ShapeError(
-                f"expected {self.n_bits}-bit codes, got {codes.shape[1]}"
-            )
-        self._packed = pack_codes(codes)
+        """Append ±1 codes; new rows get the next insertion-order ids."""
+        packed = self._pack(codes)
+        self._bits = np.concatenate([self._bits, packed.bits])
+        self._ids = np.concatenate([
+            self._ids,
+            np.arange(self._next_id, self._next_id + len(packed), dtype=np.int64),
+        ])
+        self._next_id += len(packed)
+        if self._cache is not None:
+            self._cache.clear()
         return self
 
+    def remove(self, ids: np.ndarray) -> int:
+        """Remove rows by stable id (unknown ids are ignored).
+
+        Returns the number of rows actually removed.  Surviving rows keep
+        their ids.
+        """
+        ids = np.atleast_1d(np.asarray(ids, dtype=np.int64))
+        keep = ~np.isin(self._ids, ids)
+        removed = int(self._ids.size - keep.sum())
+        if removed:
+            self._bits = self._bits[keep]
+            self._ids = self._ids[keep]
+            if self._cache is not None:
+                self._cache.clear()
+        return removed
+
+    def clear(self) -> "HammingIndex":
+        """Drop all rows (ids keep counting up across clears)."""
+        self._bits = self._bits[:0]
+        self._ids = self._ids[:0]
+        if self._cache is not None:
+            self._cache.clear()
+        return self
+
+    # -- introspection ----------------------------------------------------------
+
     def __len__(self) -> int:
-        return 0 if self._packed is None else len(self._packed)
+        return self._ids.size
 
     @property
     def storage_bytes(self) -> int:
         """Bytes used to store the database codes."""
-        return 0 if self._packed is None else self._packed.nbytes
+        return int(self._bits.nbytes)
+
+    @property
+    def cache(self) -> QueryResultCache | None:
+        """The query-result cache, or ``None`` when caching is off."""
+        return self._cache
+
+    # -- validation helpers -----------------------------------------------------
+
+    def _pack(self, codes: np.ndarray, name: str = "codes") -> PackedCodes:
+        """Validate (once) and bit-pack a ±1 matrix of this index's width."""
+        codes = check_binary_codes(codes, name)
+        if codes.shape[1] != self.n_bits:
+            raise ShapeError(
+                f"expected {self.n_bits}-bit {name}, got {codes.shape[1]}"
+            )
+        return PackedCodes(bits=np.packbits(codes > 0, axis=1),
+                           n_bits=self.n_bits)
 
     def _require_built(self) -> PackedCodes:
-        if self._packed is None:
+        if self._ids.size == 0:
             raise NotFittedError("index is empty; call add() first")
-        return self._packed
+        return PackedCodes(bits=self._bits, n_bits=self.n_bits)
+
+    # -- queries ----------------------------------------------------------------
 
     def search(
         self, query_codes: np.ndarray, top_k: int = 10
     ) -> tuple[np.ndarray, np.ndarray]:
-        """Top-k Hamming ranking: returns (indices, distances).
+        """Top-k Hamming ranking: returns (ids, distances).
 
-        Ties break by database index (stable), matching the metric module.
+        Ties break by id (stable), matching the metric module.
         """
         packed_db = self._require_built()
         if top_k <= 0 or top_k > len(packed_db):
             raise ShapeError(
                 f"top_k must be in [1, {len(packed_db)}], got {top_k}"
             )
-        distances = packed_hamming_distance(pack_codes(query_codes), packed_db)
-        idx = np.argsort(distances, axis=1, kind="stable")[:, :top_k]
-        return idx, np.take_along_axis(distances, idx, axis=1)
+        packed_q = self._pack(query_codes, "query_codes")
+
+        def compute(rows: PackedCodes) -> tuple[np.ndarray, np.ndarray]:
+            distances = packed_hamming_distance(rows, packed_db)
+            idx = np.argsort(distances, axis=1, kind="stable")[:, :top_k]
+            dist = np.take_along_axis(distances, idx, axis=1).astype(np.float64)
+            return self._ids[idx], dist
+
+        if self._cache is None:
+            return compute(packed_q)
+        out_ids = np.empty((len(packed_q), top_k), dtype=np.int64)
+        out_dist = np.empty((len(packed_q), top_k), dtype=np.float64)
+        misses = []
+        for qi, row in enumerate(packed_q.bits):
+            hit = self._cache.get(("top_k", top_k, row.tobytes()))
+            if hit is None:
+                misses.append(qi)
+            else:
+                out_ids[qi], out_dist[qi] = hit
+        if misses:
+            fresh_ids, fresh_dist = compute(
+                PackedCodes(bits=packed_q.bits[misses], n_bits=self.n_bits)
+            )
+            for pos, qi in enumerate(misses):
+                out_ids[qi], out_dist[qi] = fresh_ids[pos], fresh_dist[pos]
+                self._cache.put(
+                    ("top_k", top_k, packed_q.bits[qi].tobytes()),
+                    (fresh_ids[pos].copy(), fresh_dist[pos].copy()),
+                )
+        return out_ids, out_dist
 
     def radius_search(self, query_codes: np.ndarray, radius: int) -> list[np.ndarray]:
-        """Hash-lookup: all database ids within Hamming radius per query."""
+        """Hash-lookup: ids of all alive rows within Hamming radius per query."""
         packed_db = self._require_built()
         if not 0 <= radius <= self.n_bits:
             raise ShapeError(f"radius must be in [0, {self.n_bits}], got {radius}")
-        distances = packed_hamming_distance(pack_codes(query_codes), packed_db)
-        return [np.flatnonzero(row <= radius) for row in distances]
+        packed_q = self._pack(query_codes, "query_codes")
+        if self._cache is None:
+            distances = packed_hamming_distance(packed_q, packed_db)
+            return [self._ids[row <= radius] for row in distances]
+        results: list[np.ndarray | None] = [None] * len(packed_q)
+        misses = []
+        for qi, row in enumerate(packed_q.bits):
+            hit = self._cache.get(("radius", radius, row.tobytes()))
+            if hit is None:
+                misses.append(qi)
+            else:
+                results[qi] = hit.copy()
+        if misses:
+            distances = packed_hamming_distance(
+                PackedCodes(bits=packed_q.bits[misses], n_bits=self.n_bits),
+                packed_db,
+            )
+            for pos, qi in enumerate(misses):
+                hit = self._ids[distances[pos] <= radius]
+                self._cache.put(
+                    ("radius", radius, packed_q.bits[qi].tobytes()), hit
+                )
+                results[qi] = hit.copy()
+        return results
 
 
 @dataclass(frozen=True)
@@ -109,6 +239,46 @@ class RetrievalReport:
         return f"RetrievalReport(k={self.n_bits}, MAP={self.map:.3f}, {pn})"
 
 
+def _backend_distance_matrix(
+    backend: str | RetrievalBackend,
+    query_codes: np.ndarray,
+    db_codes: np.ndarray,
+) -> np.ndarray:
+    """Full (n_query, n_db) distance matrix served through a backend.
+
+    A string builds a fresh index over ``db_codes`` from the registry; a
+    backend instance is used as-is (filled with ``db_codes`` when empty —
+    a prebuilt instance must hold exactly ``db_codes`` in order, with ids
+    0..n-1, for the metrics to be meaningful).
+    """
+    if isinstance(backend, str):
+        index = make_backend(backend, db_codes.shape[1])
+    else:
+        index = backend
+    if len(index) == 0:
+        index.add(db_codes)
+    n_db = db_codes.shape[0]
+    if len(index) != n_db:
+        raise ShapeError(
+            f"backend holds {len(index)} rows, database has {n_db}"
+        )
+    ids, dist = index.search(query_codes, top_k=len(index))
+    if ids.min() < 0 or ids.max() >= n_db:
+        raise ShapeError(
+            f"backend ids must cover 0..{n_db - 1} (a prebuilt index with "
+            f"removals has renumbered gaps); got id range "
+            f"[{ids.min()}, {ids.max()}]"
+        )
+    distances = np.full((query_codes.shape[0], n_db), np.inf)
+    rows = np.arange(query_codes.shape[0])[:, None]
+    distances[rows, ids] = dist
+    if np.isinf(distances).any():
+        raise ShapeError(
+            "backend search did not return every database id for every query"
+        )
+    return distances
+
+
 def evaluate_codes(
     query_codes: np.ndarray,
     db_codes: np.ndarray,
@@ -116,13 +286,25 @@ def evaluate_codes(
     db_labels: np.ndarray,
     top_n: int = PAPER_MAP_DEPTH,
     pn_points: tuple[int, ...] = PAPER_PN_POINTS,
+    backend: str | RetrievalBackend | None = None,
 ) -> RetrievalReport:
-    """Full evaluation of precomputed hash codes."""
+    """Full evaluation of precomputed hash codes.
+
+    ``backend`` optionally routes distance computation through a registered
+    serving backend (``"bruteforce"``, ``"multi-index"``, or an instance)
+    instead of the direct BLAS path; all backends are exact, so the metrics
+    are identical either way.
+    """
     relevance = relevance_matrix(query_labels, db_labels)
-    distances = hamming_distance_matrix(query_codes, db_codes)
+    if backend is None:
+        distances = hamming_distance_matrix(query_codes, db_codes)
+    else:
+        distances = _backend_distance_matrix(backend, query_codes, db_codes)
     usable_points = tuple(p for p in pn_points if p <= db_codes.shape[0])
-    if not usable_points:
-        usable_points = (min(pn_points[0], db_codes.shape[0]),)
+    if not usable_points and pn_points:
+        # Every requested point exceeds the database; clamp to its size
+        # (order-independent — pn_points need not be sorted).
+        usable_points = (db_codes.shape[0],)
     return RetrievalReport(
         map=mean_average_precision_from_distances(
             distances, relevance, min(top_n, db_codes.shape[0])

@@ -8,6 +8,9 @@ Hash codes live in {-1, +1}^k (paper §3.1).  Two distance paths are provided:
   storage with LUT popcount, the representation a production system would
   ship (64x smaller than float codes).  Tested to agree exactly with the
   BLAS path.
+- :func:`packed_distances_to_one` — single-query popcount against a packed
+  row subset, the candidate-verification primitive the multi-index serving
+  path uses (no float conversion, no re-validation).
 """
 
 from __future__ import annotations
@@ -85,6 +88,28 @@ def unpack_codes(packed: PackedCodes) -> np.ndarray:
     """Inverse of :func:`pack_codes`, recovering the ±1 matrix."""
     bools = np.unpackbits(packed.bits, axis=1)[:, : packed.n_bits]
     return np.where(bools.astype(bool), 1.0, -1.0)
+
+
+def packed_distances_to_one(
+    query_bits: np.ndarray, db_bits: np.ndarray
+) -> np.ndarray:
+    """Hamming distances from one packed query row to many packed db rows.
+
+    ``query_bits`` is a 1-D uint8 row (one code), ``db_bits`` a 2-D uint8
+    matrix of packed codes with the same byte width.  Returns a 1-D uint16
+    distance vector.  Padding bits must be zero on both sides (as produced
+    by :func:`pack_codes`), so they never contribute to the XOR popcount.
+    """
+    if query_bits.ndim != 1 or db_bits.ndim != 2:
+        raise ShapeError(
+            f"expected 1-D query and 2-D db, got {query_bits.shape} "
+            f"and {db_bits.shape}"
+        )
+    if query_bits.shape[0] != db_bits.shape[1]:
+        raise ShapeError(
+            f"byte widths differ: {query_bits.shape[0]} vs {db_bits.shape[1]}"
+        )
+    return _POPCOUNT[db_bits ^ query_bits[None, :]].sum(axis=1, dtype=np.uint16)
 
 
 def packed_hamming_distance(a: PackedCodes, b: PackedCodes) -> np.ndarray:

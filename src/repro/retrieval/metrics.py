@@ -80,8 +80,13 @@ def precision_at_n(
     relevance: np.ndarray,
     points: tuple[int, ...] = PAPER_PN_POINTS,
 ) -> dict[int, float]:
-    """Mean precision among the top-N results for each N (Figure 2)."""
+    """Mean precision among the top-N results for each N (Figure 2).
+
+    ``points`` may be unsorted; an empty tuple yields an empty dict.
+    """
     _check_rank_inputs(distances, relevance)
+    if not points:
+        return {}
     max_n = max(points)
     if max_n > distances.shape[1]:
         raise ShapeError(

@@ -1,0 +1,254 @@
+"""Tests for the retrieval serving layer: backend protocol, registry,
+incremental add/remove semantics, and the query-result LRU cache."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, NotFittedError, ShapeError
+from repro.retrieval import (
+    HammingIndex,
+    MultiIndexHammingIndex,
+    QueryResultCache,
+    RetrievalBackend,
+    backend_names,
+    evaluate_codes,
+    make_backend,
+)
+
+BACKENDS = ("bruteforce", "multi-index")
+
+
+def random_codes(n, k, seed=0):
+    rng = np.random.default_rng(seed)
+    return np.where(rng.random((n, k)) < 0.5, -1.0, 1.0)
+
+
+class TestRegistry:
+    def test_builtin_names(self):
+        names = backend_names()
+        assert "bruteforce" in names
+        assert "multi-index" in names
+
+    def test_make_backend_types(self):
+        assert isinstance(make_backend("bruteforce", 16), HammingIndex)
+        assert isinstance(make_backend("multi-index", 16), MultiIndexHammingIndex)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ConfigurationError):
+            make_backend("faiss", 16)
+
+    def test_kwargs_pass_through(self):
+        index = make_backend("multi-index", 16, n_tables=2, cache_size=8)
+        assert index.n_tables == 2
+        assert index.cache is not None
+
+    @pytest.mark.parametrize("name", BACKENDS)
+    def test_satisfies_protocol(self, name):
+        assert isinstance(make_backend(name, 8), RetrievalBackend)
+
+
+class TestIncrementalAdd:
+    @pytest.mark.parametrize("name", BACKENDS)
+    def test_chunked_add_equals_one_shot(self, name):
+        db = random_codes(120, 16, seed=1)
+        queries = random_codes(6, 16, seed=2)
+        one_shot = make_backend(name, 16).add(db)
+        chunked = make_backend(name, 16)
+        for chunk in np.array_split(db, 5):
+            chunked.add(chunk)
+        assert len(chunked) == len(one_shot) == 120
+        for index_pair in (("search", 7), ("radius", 4)):
+            kind, arg = index_pair
+            if kind == "search":
+                a = one_shot.search(queries, top_k=arg)
+                b = chunked.search(queries, top_k=arg)
+                np.testing.assert_array_equal(a[0], b[0])
+                np.testing.assert_array_equal(a[1], b[1])
+            else:
+                for ra, rb in zip(one_shot.radius_search(queries, arg),
+                                  chunked.radius_search(queries, arg)):
+                    np.testing.assert_array_equal(ra, rb)
+
+    @pytest.mark.parametrize("name", BACKENDS)
+    def test_ids_are_stable_across_adds(self, name):
+        first = random_codes(10, 8, seed=3)
+        second = random_codes(10, 8, seed=4)
+        index = make_backend(name, 8).add(first).add(second)
+        # Searching for an exact code from the second batch must return its
+        # insertion-order id (10 + offset), not a renumbered position.
+        ids, dist = index.search(second[:1], top_k=1)
+        assert dist[0, 0] == 0
+        assert ids[0, 0] >= 10 or (first == second[0]).all(axis=1).any()
+
+
+class TestRemove:
+    @pytest.mark.parametrize("name", BACKENDS)
+    def test_remove_excludes_ids(self, name):
+        db = random_codes(50, 16, seed=5)
+        queries = random_codes(4, 16, seed=6)
+        index = make_backend(name, 16).add(db)
+        removed = index.remove([0, 7, 49])
+        assert removed == 3
+        assert len(index) == 47
+        ids, _ = index.search(queries, top_k=47)
+        assert not set(ids.ravel()) & {0, 7, 49}
+        for hits in index.radius_search(queries, 16):
+            assert not set(hits) & {0, 7, 49}
+
+    @pytest.mark.parametrize("name", BACKENDS)
+    def test_remove_unknown_ids_ignored(self, name):
+        index = make_backend(name, 8).add(random_codes(5, 8))
+        assert index.remove([99, -3]) == 0
+        assert index.remove([2, 2, 99]) == 1
+        assert index.remove([2]) == 0  # already gone
+        assert len(index) == 4
+
+    @pytest.mark.parametrize("name", BACKENDS)
+    def test_remove_all_then_search_raises(self, name):
+        index = make_backend(name, 8).add(random_codes(3, 8))
+        assert index.remove([0, 1, 2]) == 3
+        with pytest.raises(NotFittedError):
+            index.search(random_codes(1, 8), top_k=1)
+
+    def test_mih_vacuum_preserves_results(self):
+        db = random_codes(80, 16, seed=7)
+        queries = random_codes(5, 16, seed=8)
+        mih = MultiIndexHammingIndex(16, n_tables=4).add(db)
+        mih.remove(np.arange(0, 80, 3))
+        before = mih.search(queries, top_k=10)
+        mih.vacuum()
+        after = mih.search(queries, top_k=10)
+        np.testing.assert_array_equal(before[0], after[0])
+        np.testing.assert_array_equal(before[1], after[1])
+
+
+class TestBackendsAgreeUnderChurn:
+    """Brute force and MIH must stay bit-identical through add/remove cycles."""
+
+    @pytest.mark.parametrize("n_tables", [1, 3, 4])
+    def test_agreement_after_cycles(self, n_tables):
+        rng = np.random.default_rng(9)
+        k = 16
+        brute = HammingIndex(k)
+        mih = MultiIndexHammingIndex(k, n_tables=n_tables)
+        alive = 0
+        for step in range(4):
+            batch = random_codes(40, k, seed=100 + step)
+            brute.add(batch)
+            mih.add(batch)
+            alive += 40
+            # Draw removals from the whole id space seen so far; ids that
+            # were already removed in a previous cycle are ignored.
+            drop = rng.choice(np.arange((step + 1) * 40), size=8, replace=False)
+            alive -= brute.remove(drop)
+            mih.remove(drop)
+            assert len(brute) == len(mih) == alive
+        queries = random_codes(8, k, seed=10)
+        b_ids, b_dist = brute.search(queries, top_k=12)
+        m_ids, m_dist = mih.search(queries, top_k=12)
+        np.testing.assert_array_equal(b_ids, m_ids)
+        np.testing.assert_array_equal(b_dist, m_dist)
+        for radius in (0, 3, k):
+            for rb, rm in zip(brute.radius_search(queries, radius),
+                              mih.radius_search(queries, radius)):
+                np.testing.assert_array_equal(np.sort(rb), rm)
+
+
+class TestQueryResultCache:
+    def test_lru_eviction(self):
+        cache = QueryResultCache(max_entries=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refreshes "a"
+        cache.put("c", 3)  # evicts "b"
+        assert cache.get("b") is None
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(ConfigurationError):
+            QueryResultCache(0)
+
+    @pytest.mark.parametrize("name", BACKENDS)
+    def test_cached_results_match_uncached(self, name):
+        db = random_codes(60, 16, seed=11)
+        queries = random_codes(5, 16, seed=12)
+        plain = make_backend(name, 16).add(db)
+        cached = make_backend(name, 16, cache_size=32).add(db)
+        for _ in range(2):  # second pass served from cache
+            p = plain.search(queries, top_k=6)
+            c = cached.search(queries, top_k=6)
+            np.testing.assert_array_equal(p[0], c[0])
+            np.testing.assert_array_equal(p[1], c[1])
+            for rp, rc in zip(plain.radius_search(queries, 5),
+                              cached.radius_search(queries, 5)):
+                np.testing.assert_array_equal(rp, rc)
+        assert cached.cache.hits > 0
+
+    @pytest.mark.parametrize("name", BACKENDS)
+    def test_cache_invalidated_on_mutation(self, name):
+        db = random_codes(30, 8, seed=13)
+        index = make_backend(name, 8, cache_size=16).add(db)
+        query = random_codes(1, 8, seed=14)
+        index.search(query, top_k=3)
+        assert len(index.cache) > 0
+        index.add(random_codes(5, 8, seed=15))
+        assert len(index.cache) == 0
+        index.search(query, top_k=3)
+        index.remove([0])
+        assert len(index.cache) == 0
+
+    def test_cache_returns_copies(self):
+        db = random_codes(20, 8, seed=16)
+        index = make_backend("bruteforce", 8, cache_size=8).add(db)
+        query = random_codes(1, 8, seed=17)
+        hits = index.radius_search(query, 8)[0]
+        hits[:] = -1  # caller mutates their copy
+        fresh = index.radius_search(query, 8)[0]
+        assert (fresh >= 0).all()
+
+
+class TestEvaluateCodesBackend:
+    @pytest.mark.parametrize("name", BACKENDS)
+    def test_backend_matches_blas_path(self, name):
+        q = random_codes(5, 16, seed=18)
+        db = random_codes(30, 16, seed=19)
+        rng = np.random.default_rng(20)
+        ql = rng.integers(0, 2, size=(5, 3))
+        ql[ql.sum(axis=1) == 0, 0] = 1
+        dl = rng.integers(0, 2, size=(30, 3))
+        dl[dl.sum(axis=1) == 0, 0] = 1
+        base = evaluate_codes(q, db, ql, dl, pn_points=(5, 10))
+        served = evaluate_codes(q, db, ql, dl, pn_points=(5, 10), backend=name)
+        assert served.map == pytest.approx(base.map)
+        assert served.precision_at_n == pytest.approx(base.precision_at_n)
+
+    def test_backend_instance_accepted(self):
+        q = random_codes(3, 8, seed=21)
+        db = random_codes(12, 8, seed=22)
+        ql = np.ones((3, 2), dtype=int)
+        dl = np.ones((12, 2), dtype=int)
+        index = MultiIndexHammingIndex(8, n_tables=2)
+        report = evaluate_codes(q, db, ql, dl, pn_points=(4,), backend=index)
+        base = evaluate_codes(q, db, ql, dl, pn_points=(4,))
+        assert report.map == pytest.approx(base.map)
+
+    def test_prebuilt_backend_with_id_gaps_raises(self):
+        # Right row count but renumbered ids (remove + re-add) must raise
+        # ShapeError, not crash or feed garbage into the metrics.
+        q = random_codes(2, 8, seed=26)
+        db = random_codes(6, 8, seed=27)
+        gappy = HammingIndex(8).add(db)
+        gappy.remove([2])
+        gappy.add(random_codes(1, 8, seed=28))  # len matches, ids have a gap
+        with pytest.raises(ShapeError):
+            evaluate_codes(q, db, np.ones((2, 1), int), np.ones((6, 1), int),
+                           pn_points=(2,), backend=gappy)
+
+    def test_backend_size_mismatch_raises(self):
+        q = random_codes(2, 8, seed=23)
+        db = random_codes(10, 8, seed=24)
+        stale = HammingIndex(8).add(random_codes(4, 8, seed=25))
+        with pytest.raises(ShapeError):
+            evaluate_codes(q, db, np.ones((2, 1), int), np.ones((10, 1), int),
+                           pn_points=(2,), backend=stale)

@@ -10,7 +10,9 @@ from repro.errors import NotFittedError, ShapeError
 from repro.retrieval.engine import HammingIndex
 from repro.retrieval.multi_index import (
     MultiIndexHammingIndex,
+    _bulk_keys,
     _keys_within_radius,
+    _ring_masks,
     _split_points,
     _substring_key,
 )
@@ -37,6 +39,26 @@ class TestHelpers:
         # C(4,0)+C(4,1)+C(4,2) = 1+4+6.
         assert len(_keys_within_radius(0, width=4, radius=2)) == 11
 
+    def test_bulk_keys_match_scalar_keying(self):
+        rng = np.random.default_rng(7)
+        bools = rng.random((50, 14)) < 0.5
+        expected = [_substring_key(row) for row in bools]
+        np.testing.assert_array_equal(_bulk_keys(bools), expected)
+
+    def test_bulk_keys_wide_substring_object_path(self):
+        # Widths beyond int64 take the arbitrary-precision fallback.
+        rng = np.random.default_rng(8)
+        bools = rng.random((10, 70)) < 0.5
+        keys = _bulk_keys(bools)
+        expected = [_substring_key(row) for row in bools]
+        assert list(keys) == expected
+
+    def test_ring_masks_popcounts(self):
+        masks = _ring_masks(6, 2)
+        assert len(masks) == 15  # C(6,2)
+        assert all(bin(int(m)).count("1") == 2 for m in masks)
+        np.testing.assert_array_equal(_ring_masks(6, 0), [0])
+
 
 class TestRadiusSearch:
     @pytest.mark.parametrize("radius", [0, 2, 5, 16])
@@ -62,6 +84,33 @@ class TestRadiusSearch:
         for e, g in zip(brute.radius_search(queries, radius),
                         mih.radius_search(queries, radius)):
             np.testing.assert_array_equal(np.sort(e), g)
+
+    def test_exact_regression_postvectorization(self):
+        """radius_search must stay exact through both CSR probe modes:
+        direct-addressed (narrow substrings) and sorted binary search
+        (substrings wider than the direct-address cutoff)."""
+        k = 48
+        db = random_codes(500, k, seed=20)
+        queries = random_codes(6, k, seed=21)
+        brute = HammingIndex(k).add(db)
+        for n_tables in (2, 4):  # widths 24 (sorted) and 12 (direct)
+            mih = MultiIndexHammingIndex(k, n_tables=n_tables).add(db)
+            for radius in (0, 5, 17, k):
+                for e, g in zip(brute.radius_search(queries, radius),
+                                mih.radius_search(queries, radius)):
+                    np.testing.assert_array_equal(np.sort(e), g)
+
+    def test_exact_wide_substring_object_keys(self):
+        # One 70-bit table: keys exceed int64 and take the object path.
+        k = 70
+        db = random_codes(60, k, seed=22)
+        queries = random_codes(3, k, seed=23)
+        mih = MultiIndexHammingIndex(k, n_tables=1).add(db)
+        brute = HammingIndex(k).add(db)
+        for radius in (0, 1, 2):
+            for e, g in zip(brute.radius_search(queries, radius),
+                            mih.radius_search(queries, radius)):
+                np.testing.assert_array_equal(np.sort(e), g)
 
     def test_validation(self):
         mih = MultiIndexHammingIndex(8, n_tables=2)

@@ -140,6 +140,16 @@ class TestPrecisionAtN:
         with pytest.raises(ShapeError):
             precision_at_n(np.zeros((1, 3)), np.zeros((1, 3), bool), points=(5,))
 
+    def test_empty_points_returns_empty_dict(self):
+        assert precision_at_n(np.zeros((1, 3)), np.zeros((1, 3), bool),
+                              points=()) == {}
+
+    def test_unsorted_points(self):
+        distances = np.array([[0.0, 1.0, 2.0, 3.0]])
+        rel = np.array([[True, False, True, False]])
+        pn = precision_at_n(distances, rel, points=(4, 1, 2))
+        assert pn[1] == 1.0 and pn[2] == 0.5 and pn[4] == 0.5
+
 
 class TestPRCurve:
     def test_monotone_recall(self):
@@ -212,6 +222,31 @@ class TestHammingIndex:
         assert index.storage_bytes == 80
         assert len(index) == 10
 
+    def test_add_rejects_1d_input_with_shape_error(self):
+        # Regression: used to raise a raw IndexError from codes.shape[1].
+        with pytest.raises(ShapeError):
+            HammingIndex(4).add(np.array([1.0, -1.0, 1.0, -1.0]))
+
+    def test_add_rejects_nonbinary_with_shape_error(self):
+        with pytest.raises(ShapeError):
+            HammingIndex(4).add(np.full((2, 4), 0.5))
+
+    def test_search_rejects_malformed_queries(self):
+        index = HammingIndex(4).add(random_codes(3, 4))
+        with pytest.raises(ShapeError):
+            index.search(np.array([1.0, -1.0, 1.0, -1.0]), top_k=1)
+        with pytest.raises(ShapeError):
+            index.search(random_codes(1, 8), top_k=1)
+        with pytest.raises(ShapeError):
+            index.radius_search(np.array([1.0, -1.0]), radius=1)
+
+    def test_clear_empties_index(self):
+        index = HammingIndex(4).add(random_codes(3, 4))
+        index.clear()
+        assert len(index) == 0
+        with pytest.raises(NotFittedError):
+            index.search(random_codes(1, 4), top_k=1)
+
 
 class TestEvaluateCodes:
     def test_report_fields(self):
@@ -227,3 +262,14 @@ class TestEvaluateCodes:
         assert set(report.precision_at_n) == {5, 10}
         assert report.n_bits == 16
         assert "MAP" in str(report)
+
+    def test_unsorted_pn_points_fallback_clamps_to_db(self):
+        # Regression: the fallback read pn_points[0], assuming sorted input;
+        # it now clamps to the database size regardless of point order.
+        q = random_codes(2, 8, seed=10)
+        db = random_codes(6, 8, seed=11)
+        labels_q = np.ones((2, 1), dtype=int)
+        labels_db = np.ones((6, 1), dtype=int)
+        report = evaluate_codes(q, db, labels_q, labels_db,
+                                pn_points=(500, 100))
+        assert set(report.precision_at_n) == {6}

@@ -146,6 +146,20 @@ class TestValidation:
         with pytest.raises(ShapeError):
             check_binary_codes(np.array([[0.5, 1.0]]))
 
+    def test_check_binary_codes_rejects_zero_and_nan(self):
+        with pytest.raises(ShapeError):
+            check_binary_codes(np.array([[0.0, 1.0]]))
+        with pytest.raises(ShapeError):
+            check_binary_codes(np.array([[np.nan, 1.0]]))
+        with pytest.raises(ShapeError):
+            check_binary_codes(np.array([1.0, -1.0]))  # 1-D
+
+    def test_check_binary_codes_names_offending_values(self):
+        with pytest.raises(ShapeError, match="0.5"):
+            check_binary_codes(np.array([[0.5, 1.0]]), "mycodes")
+        with pytest.raises(ShapeError, match="mycodes"):
+            check_binary_codes(np.array([[3.0, 1.0]]), "mycodes")
+
     def test_check_probability_rows(self):
         check_probability_rows(np.array([[0.5, 0.5]]))
         with pytest.raises(ShapeError):
