@@ -12,7 +12,6 @@ brute-force :class:`HammingIndex` on the same queries.
 
 from __future__ import annotations
 
-import time
 from collections import defaultdict
 
 import numpy as np
@@ -25,7 +24,7 @@ from repro.retrieval.multi_index import (
     _substring_key,
 )
 
-from conftest import save_result
+from conftest import assert_speedup, timed
 
 N_DB = 10_000
 N_BITS = 64
@@ -131,19 +130,15 @@ def test_bench_retrieval_scale(results_dir):
     db = _random_codes(N_DB, N_BITS, seed=11)
     queries = _random_codes(N_QUERIES, N_BITS, seed=12)
 
-    t0 = time.perf_counter()
-    seed_index = _SeedMultiIndex(N_BITS, N_TABLES).add(db)
-    seed_build = time.perf_counter() - t0
-    t0 = time.perf_counter()
-    seed_idx, seed_dist = seed_index.search(queries, top_k=TOP_K)
-    seed_search = time.perf_counter() - t0
+    seed_build, seed_index = timed(lambda: _SeedMultiIndex(N_BITS, N_TABLES).add(db))
+    seed_search, (seed_idx, seed_dist) = timed(
+        lambda: seed_index.search(queries, top_k=TOP_K)
+    )
 
-    t0 = time.perf_counter()
-    mih = MultiIndexHammingIndex(N_BITS, n_tables=N_TABLES).add(db)
-    new_build = time.perf_counter() - t0
-    t0 = time.perf_counter()
-    new_idx, new_dist = mih.search(queries, top_k=TOP_K)
-    new_search = time.perf_counter() - t0
+    new_build, mih = timed(
+        lambda: MultiIndexHammingIndex(N_BITS, n_tables=N_TABLES).add(db)
+    )
+    new_search, (new_idx, new_dist) = timed(lambda: mih.search(queries, top_k=TOP_K))
 
     # Bit-identical to the brute-force reference (and to the seed MIH).
     brute_idx, brute_dist = HammingIndex(N_BITS).add(db).search(
@@ -156,18 +151,19 @@ def test_bench_retrieval_scale(results_dir):
 
     seed_total = seed_build + seed_search
     new_total = new_build + new_search
-    speedup = seed_total / new_total
-    lines = [
-        f"retrieval serving scale: n={N_DB} bits={N_BITS} "
-        f"queries={N_QUERIES} top_k={TOP_K} tables={N_TABLES}",
-        f"seed MIH : build {seed_build * 1e3:9.1f} ms   "
-        f"search {seed_search * 1e3:9.1f} ms   total {seed_total * 1e3:9.1f} ms",
-        f"new  MIH : build {new_build * 1e3:9.1f} ms   "
-        f"search {new_search * 1e3:9.1f} ms   total {new_total * 1e3:9.1f} ms",
-        f"speedup  : {speedup:.1f}x (required >= {REQUIRED_SPEEDUP}x)",
-        "agreement: bit-identical to brute-force HammingIndex",
-    ]
-    report = "\n".join(lines)
-    print("\n" + report)
-    save_result(results_dir, "retrieval_scale", report)
-    assert speedup >= REQUIRED_SPEEDUP, report
+    assert_speedup(
+        results_dir,
+        "retrieval_scale",
+        seed_total,
+        new_total,
+        REQUIRED_SPEEDUP,
+        lines=[
+            f"retrieval serving scale: n={N_DB} bits={N_BITS} "
+            f"queries={N_QUERIES} top_k={TOP_K} tables={N_TABLES}",
+            f"seed MIH : build {seed_build * 1e3:9.1f} ms   "
+            f"search {seed_search * 1e3:9.1f} ms   total {seed_total * 1e3:9.1f} ms",
+            f"new  MIH : build {new_build * 1e3:9.1f} ms   "
+            f"search {new_search * 1e3:9.1f} ms   total {new_total * 1e3:9.1f} ms",
+            "agreement: bit-identical to brute-force HammingIndex",
+        ],
+    )

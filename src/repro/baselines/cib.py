@@ -48,15 +48,16 @@ class CIB(DeepHasherBase):
         view1 = self._augment(batch)
         view2 = self._augment(batch)
         z1 = self.net(view1)
+        view1_cache = self.net.capture_cache()
         lq, grad_q = quantization_loss(z1)
         z2 = self.net(view2)
         jc, grad_c1, grad_c2 = cib_contrastive_loss(z1, z2, gamma=self.GAMMA)
 
-        # Two backward passes share the network; re-forward view1 after
-        # applying view2's gradient (layer caches hold one view at a time).
+        # Two backward passes share the network; view 1's activations are
+        # captured before view 2's forward so no third forward is needed.
         self.optimizer.zero_grad()
         self.net.backward(grad_c2)
-        self.net(view1)
+        self.net.restore_cache(view1_cache)
         self.net.backward(grad_c1 + self.BETA * grad_q)
         self.optimizer.step()
         return float(jc + self.BETA * lq)

@@ -8,11 +8,14 @@ Subcommands::
     python -m repro.cli table2  --scale 0.03
     python -m repro.cli export  --results benchmarks/results --out EXPERIMENTS.md
     python -m repro.cli bench-retrieval --n 10000 --bits 64
+    python -m repro.cli bench-train --n 512 --bits 64 --batch 128
 
 ``eval`` accepts ``--backend`` to route retrieval through any registered
 serving backend (see :mod:`repro.retrieval.backend`); ``bench-retrieval``
 times every backend's build + batch-search path on random codes and checks
-them against each other.  All commands run fully offline on the simulated
+them against each other; ``bench-train`` times ``UHSCMTrainer.fit`` steps
+for both contrastive modes (mcl/cib) under both dtype policies
+(float64/float32).  All commands run fully offline on the simulated
 substrate.
 """
 
@@ -102,6 +105,49 @@ def _cmd_bench_retrieval(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_train(args: argparse.Namespace) -> int:
+    import time
+
+    import numpy as np
+
+    from repro.config import TrainConfig, UHSCMConfig
+    from repro.core.hashing_network import HashingNetwork
+    from repro.core.trainer import UHSCMTrainer
+
+    rng = np.random.default_rng(args.seed)
+    features = rng.normal(size=(args.n, args.dim))
+    labels = rng.integers(0, 10, size=args.n)
+    q = (labels[:, None] == labels[None, :]).astype(np.float64)
+    print(f"training bench: n={args.n} dim={args.dim} bits={args.bits} "
+          f"batch={args.batch} epochs={args.epochs}")
+    for mode in ("mcl", "cib"):
+        reference_final = None
+        for dtype in ("float64", "float32"):
+            config = UHSCMConfig(
+                n_bits=args.bits,
+                train=TrainConfig(batch_size=args.batch, epochs=args.epochs,
+                                  dtype=dtype),
+            )
+            network = HashingNetwork(
+                args.bits, mode="feature", feature_extractor=lambda x: x,
+                feature_dim=args.dim, rng=args.seed, dtype=dtype,
+            )
+            trainer = UHSCMTrainer(network, config, contrastive=mode)
+            t0 = time.perf_counter()
+            history = trainer.fit(features, q, epochs=args.epochs)
+            elapsed = time.perf_counter() - t0
+            n_steps = sum(history.batches)
+            final = history.total[-1]
+            drift = ("n/a" if reference_final is None
+                     else f"{abs(final - reference_final) / abs(reference_final):.1e}")
+            if reference_final is None:
+                reference_final = final
+            print(f"  {mode:<4} {dtype:<8} {elapsed * 1e3:8.1f} ms   "
+                  f"{elapsed / n_steps * 1e3:6.2f} ms/step   "
+                  f"final loss {final:.6f}   drift vs f64: {drift}")
+    return 0
+
+
 def _cmd_table1(args: argparse.Namespace) -> int:
     from repro.experiments import run_table1
 
@@ -161,6 +207,20 @@ def build_parser() -> argparse.ArgumentParser:
                          help="bench a single backend (default: all)")
     p_bench.add_argument("--seed", type=int, default=0)
     p_bench.set_defaults(func=_cmd_bench_retrieval)
+
+    p_btrain = sub.add_parser(
+        "bench-train",
+        help="time UHSCMTrainer.fit per contrastive mode and dtype policy",
+    )
+    p_btrain.add_argument("--n", type=int, default=512,
+                          help="training set size")
+    p_btrain.add_argument("--dim", type=int, default=128,
+                          help="feature dimensionality")
+    p_btrain.add_argument("--bits", type=int, default=64)
+    p_btrain.add_argument("--batch", type=int, default=128)
+    p_btrain.add_argument("--epochs", type=int, default=3)
+    p_btrain.add_argument("--seed", type=int, default=0)
+    p_btrain.set_defaults(func=_cmd_bench_train)
 
     p_t1 = sub.add_parser("table1", help="regenerate Table 1")
     _add_common(p_t1)

@@ -29,6 +29,10 @@ PAPER_BIT_LENGTHS: tuple[int, ...] = (32, 64, 96, 128)
 DEFAULT_PROMPT_TEMPLATE = "a photo of the {concept}"
 
 
+#: Training dtypes the nn stack supports (see :attr:`TrainConfig.dtype`).
+TRAIN_DTYPES: tuple[str, ...] = ("float64", "float32")
+
+
 @dataclass(frozen=True)
 class TrainConfig:
     """Optimization settings for the hashing network (paper §4.1).
@@ -36,6 +40,16 @@ class TrainConfig:
     The paper uses SGD with momentum 0.9, fixed lr 0.006, batch size 128 and
     weight decay 1e-5.  ``epochs`` is scale-dependent; the paper trains to
     convergence, the reproduction default is sized for CPU runs.
+
+    ``dtype`` selects the numeric policy for the whole training stack —
+    parameters, activations, losses, and the SGD state are all kept in one
+    dtype.  The default ``"float64"`` is bit-stable with the seed
+    implementation (deterministic reproductions, tight gradient checks);
+    ``"float32"`` roughly doubles CPU throughput and tracks the float64
+    loss trajectory to ~1e-3 relative (gated by
+    ``benchmarks/bench_train_scale.py``).  Inference helpers
+    (``HashingNetwork.encode``) are unaffected: ±1 codes are identical in
+    either dtype away from sign boundaries.
     """
 
     learning_rate: float = 0.006
@@ -43,6 +57,7 @@ class TrainConfig:
     weight_decay: float = 1e-5
     batch_size: int = 128
     epochs: int = 60
+    dtype: str = "float64"
 
     def __post_init__(self) -> None:
         if self.learning_rate <= 0:
@@ -53,6 +68,10 @@ class TrainConfig:
             raise ConfigurationError(f"weight_decay must be >= 0: {self.weight_decay}")
         if self.batch_size <= 0 or self.epochs <= 0:
             raise ConfigurationError("batch_size and epochs must be positive")
+        if self.dtype not in TRAIN_DTYPES:
+            raise ConfigurationError(
+                f"dtype must be one of {TRAIN_DTYPES}: {self.dtype!r}"
+            )
 
 
 @dataclass(frozen=True)

@@ -10,6 +10,7 @@ from repro.core.hashing_network import HashingNetwork
 from repro.core.losses import (
     LossBreakdown,
     cib_contrastive_loss,
+    cib_objective,
     modified_contrastive_loss,
     quantization_loss,
     similarity_preserving_loss,
@@ -42,6 +43,7 @@ __all__ = [
     "UHSCMTrainer",
     "VARIANTS",
     "cib_contrastive_loss",
+    "cib_objective",
     "concept_distributions",
     "concept_frequencies",
     "denoise_concepts",

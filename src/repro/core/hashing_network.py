@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError, NotFittedError
 from repro.nn.module import Module
+from repro.nn.parameter import resolve_dtype
 from repro.nn.vgg import VGGHashNet, build_feature_hash_net
 from repro.utils.mathops import sign
 from repro.utils.rng import as_generator
@@ -44,12 +45,14 @@ class HashingNetwork:
         conv_profile: str = "tiny",
         hidden_dims: tuple[int, ...] = (256,),
         rng: int | np.random.Generator | None = 0,
+        dtype: str | np.dtype = "float64",
     ) -> None:
         if n_bits <= 0:
             raise ConfigurationError(f"n_bits must be positive: {n_bits}")
         gen = as_generator(rng)
         self.n_bits = n_bits
         self.mode = mode
+        self.dtype = resolve_dtype(dtype)
         self.feature_extractor = feature_extractor
         if mode == "feature":
             if feature_extractor is None or feature_dim is None:
@@ -71,8 +74,23 @@ class HashingNetwork:
             raise ConfigurationError(
                 f"unknown mode {mode!r}; options: 'feature' or 'conv'"
             )
+        if self.dtype != np.dtype(np.float64):
+            self.net.to(self.dtype)
 
     # -- training interface --------------------------------------------------
+
+    def to(self, dtype: str | np.dtype) -> "HashingNetwork":
+        """Cast the underlying net to the given training dtype."""
+        self.dtype = resolve_dtype(dtype)
+        self.net.to(self.dtype)
+        return self
+
+    def capture_cache(self):
+        """Snapshot layer activations (see :meth:`Module.capture_cache`)."""
+        return self.net.capture_cache()
+
+    def restore_cache(self, snapshot) -> None:
+        self.net.restore_cache(snapshot)
 
     def prepare_inputs(self, images: np.ndarray) -> np.ndarray:
         """Map raw images to whatever the underlying net consumes."""

@@ -5,6 +5,10 @@ the batch through the hashing network, evaluates the Eq. 11 objective
 against the corresponding sub-block of the semantic similarity matrix Q, and
 updates the network with SGD (momentum 0.9, lr 0.006, weight decay 1e-5 —
 the paper's §4.1 settings, carried by :class:`~repro.config.TrainConfig`).
+
+The whole step runs under the :attr:`TrainConfig.dtype` policy: the network
+is cast once at construction and inputs/similarity once per ``fit``, so a
+float32 run never round-trips through float64 on the hot path.
 """
 
 from __future__ import annotations
@@ -15,28 +19,37 @@ import numpy as np
 
 from repro.config import TrainConfig, UHSCMConfig
 from repro.core.hashing_network import HashingNetwork
-from repro.core.losses import (
-    LossBreakdown,
-    cib_contrastive_loss,
-    quantization_loss,
-    similarity_preserving_loss,
-    uhscm_objective,
-)
+from repro.core.losses import LossBreakdown, cib_objective, uhscm_objective
 from repro.errors import ConfigurationError
 from repro.nn.optim import SGD
+from repro.nn.parameter import resolve_dtype
 from repro.utils.rng import as_generator
 
 
 @dataclass
 class TrainHistory:
-    """Per-epoch averages of every loss term."""
+    """Per-epoch averages of every loss term.
+
+    ``batches`` records how many mini-batches actually trained in each epoch
+    (batches with fewer than two images are skipped by the pairwise losses).
+    An epoch in which *every* batch was skipped raises
+    :class:`~repro.errors.ConfigurationError` instead of silently averaging
+    an empty list into NaN.
+    """
 
     total: list[float] = field(default_factory=list)
     similarity: list[float] = field(default_factory=list)
     contrastive: list[float] = field(default_factory=list)
     quantization: list[float] = field(default_factory=list)
+    batches: list[int] = field(default_factory=list)
 
     def append_epoch(self, breakdowns: list[LossBreakdown]) -> None:
+        if not breakdowns:
+            raise ConfigurationError(
+                "epoch trained on zero batches: every mini-batch was skipped "
+                "(the pairwise losses need at least two images per batch)"
+            )
+        self.batches.append(len(breakdowns))
         self.total.append(float(np.mean([b.total for b in breakdowns])))
         self.similarity.append(float(np.mean([b.similarity for b in breakdowns])))
         self.contrastive.append(float(np.mean([b.contrastive for b in breakdowns])))
@@ -72,6 +85,10 @@ class UHSCMTrainer:
         self.contrastive = contrastive
         self.rng = as_generator(config.seed if rng is None else rng)
         train: TrainConfig = config.train
+        self.dtype = resolve_dtype(train.dtype)
+        if network.dtype != self.dtype:
+            network.to(self.dtype)
+        # After the cast, so velocity/scratch inherit the training dtype.
         self.optimizer = SGD(
             network.parameters(),
             learning_rate=train.learning_rate,
@@ -96,28 +113,33 @@ class UHSCMTrainer:
         epochs:
             Override for ``config.train.epochs``.
         """
-        inputs = np.asarray(inputs, dtype=np.float64)
+        inputs = np.asarray(inputs, dtype=self.dtype)
         n = inputs.shape[0]
         if similarity.shape != (n, n):
             raise ConfigurationError(
                 f"similarity must be ({n}, {n}), got {similarity.shape}"
             )
+        similarity = np.asarray(similarity, dtype=self.dtype)
         epochs = self.config.train.epochs if epochs is None else epochs
         if epochs <= 0:
             raise ConfigurationError(f"epochs must be positive: {epochs}")
         batch_size = min(self.config.train.batch_size, n)
 
-        cfg = self.config
         history = TrainHistory()
         self.network.train()
         for _ in range(epochs):
             order = self.rng.permutation(n)
             breakdowns: list[LossBreakdown] = []
             for start in range(0, n, batch_size):
-                idx = order[start : start + batch_size]
+                stop = start + batch_size
+                idx = order[start:stop]
                 if idx.size < 2:
                     continue  # pairwise losses need at least two images
-                q_batch = similarity[np.ix_(idx, idx)]
+                # One flat take per batch instead of np.ix_'s open-mesh
+                # fancy-index: gathers only the t² sub-block (O(n·t) per
+                # epoch, no O(n²) permuted copy) and measures fastest at
+                # the gated training scale.
+                q_batch = similarity.take(idx[:, None] * n + idx[None, :])
                 if self.contrastive == "mcl":
                     breakdown = self._step_mcl(inputs[idx], q_batch)
                 else:
@@ -139,30 +161,37 @@ class UHSCMTrainer:
         self.optimizer.step()
         return breakdown
 
+    def _augment(self, batch: np.ndarray) -> np.ndarray:
+        # Draws stay float64 regardless of policy so float32 and float64
+        # runs see the same augmentation stream; the arithmetic happens in
+        # the training dtype, in place on the fresh noise array.
+        noise = self.rng.normal(size=batch.shape).astype(self.dtype, copy=False)
+        noise *= self.AUGMENT_STD
+        noise += batch
+        return noise
+
     def _step_cib(self, batch: np.ndarray, q_batch: np.ndarray) -> LossBreakdown:
         """One step of the ``UHSCM_CL`` ablation: Eq. 10's J_c replaces L_c.
 
-        Two augmented views share the network, so the batch is forwarded
-        twice and the second view's gradient is applied before re-forwarding
-        the first (layer caches hold one activation set at a time).
+        Two augmented views share the network; view 1's activation caches
+        are captured before view 2's forward, so both backwards run off
+        their own forward — 2 forwards + 2 backwards per step (the seed
+        re-forwarded view 1 a third time, which also redrew dropout masks
+        between a forward and its backward).
         """
         cfg = self.config
-        view1 = batch + self.rng.normal(size=batch.shape) * self.AUGMENT_STD
-        view2 = batch + self.rng.normal(size=batch.shape) * self.AUGMENT_STD
+        view1 = self._augment(batch)
+        view2 = self._augment(batch)
         z1 = self.network.forward(view1)
-        ls, grad_s = similarity_preserving_loss(z1, q_batch)
-        lq, grad_q = quantization_loss(z1)
+        view1_cache = self.network.capture_cache()
         z2 = self.network.forward(view2)
-        jc, grad_c1, grad_c2 = cib_contrastive_loss(z1, z2, gamma=cfg.gamma)
+        breakdown, grad_z1, grad_z2 = cib_objective(
+            z1, z2, q_batch, alpha=cfg.alpha, beta=cfg.beta, gamma=cfg.gamma
+        )
 
         self.optimizer.zero_grad()
-        self.network.backward(cfg.alpha * grad_c2)  # cache holds view2
-        self.network.forward(view1)  # re-populate caches for view1
-        self.network.backward(grad_s + cfg.beta * grad_q + cfg.alpha * grad_c1)
+        self.network.backward(grad_z2)  # cache holds view2
+        self.network.restore_cache(view1_cache)
+        self.network.backward(grad_z1)
         self.optimizer.step()
-        return LossBreakdown(
-            total=ls + cfg.alpha * jc + cfg.beta * lq,
-            similarity=ls,
-            contrastive=jc,
-            quantization=lq,
-        )
+        return breakdown

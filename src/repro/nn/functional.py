@@ -34,13 +34,23 @@ def pad_nchw(x: np.ndarray, padding: int) -> np.ndarray:
 
 
 def im2col(
-    x: np.ndarray, kernel: int, stride: int = 1, padding: int = 0
+    x: np.ndarray,
+    kernel: int,
+    stride: int = 1,
+    padding: int = 0,
+    out: np.ndarray | None = None,
 ) -> tuple[np.ndarray, int, int]:
     """Unfold an NCHW tensor into patch columns.
 
     Returns ``(cols, out_h, out_w)`` where ``cols`` has shape
     ``(n * out_h * out_w, c * kernel * kernel)`` — one row per output pixel,
     one column per weight in the receptive field.
+
+    ``out`` lets callers reuse a preallocated column buffer across calls
+    (the patch gather is the hot allocation of every conv forward); it is
+    used when its shape and dtype match and reallocated otherwise.  The
+    returned array is ``out`` itself in that case — callers that overlap
+    forwards (multi-slot activation caches) must rotate between buffers.
     """
     if x.ndim != 4:
         raise ShapeError(f"im2col expects NCHW input, got shape {x.shape}")
@@ -57,10 +67,18 @@ def im2col(
         strides=(s[0], s[1], s[2], s[3], s[2] * stride, s[3] * stride),
         writeable=False,
     )
-    cols = windows.transpose(0, 4, 5, 1, 2, 3).reshape(
-        n * out_h * out_w, c * kernel * kernel
+    cols_shape = (n * out_h * out_w, c * kernel * kernel)
+    if (
+        out is None
+        or out.shape != cols_shape
+        or out.dtype != x.dtype
+        or not out.flags.c_contiguous
+    ):
+        out = np.empty(cols_shape, dtype=x.dtype)
+    out.reshape(n, out_h, out_w, c, kernel, kernel)[...] = windows.transpose(
+        0, 4, 5, 1, 2, 3
     )
-    return np.ascontiguousarray(cols), out_h, out_w
+    return out, out_h, out_w
 
 
 def col2im(

@@ -10,23 +10,27 @@ from repro.nn.module import Module
 class ReLU(Module):
     """max(x, 0)."""
 
+    _CACHE_ATTRS = ("_mask",)
+
     def __init__(self) -> None:
         super().__init__()
         self._mask: np.ndarray | None = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float64)
+        x = np.asarray(x, dtype=self.dtype)
         self._mask = x > 0
         return np.where(self._mask, x, 0.0)
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._mask is None:
             raise RuntimeError("backward called before forward")
-        return np.where(self._mask, np.asarray(grad_output, dtype=np.float64), 0.0)
+        return np.where(self._mask, np.asarray(grad_output, dtype=self.dtype), 0.0)
 
 
 class LeakyReLU(Module):
     """x if x > 0 else slope * x."""
+
+    _CACHE_ATTRS = ("_mask",)
 
     def __init__(self, negative_slope: float = 0.01) -> None:
         super().__init__()
@@ -36,43 +40,47 @@ class LeakyReLU(Module):
         self._mask: np.ndarray | None = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float64)
+        x = np.asarray(x, dtype=self.dtype)
         self._mask = x > 0
         return np.where(self._mask, x, self.negative_slope * x)
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._mask is None:
             raise RuntimeError("backward called before forward")
-        grad = np.asarray(grad_output, dtype=np.float64)
+        grad = np.asarray(grad_output, dtype=self.dtype)
         return np.where(self._mask, grad, self.negative_slope * grad)
 
 
 class Tanh(Module):
     """Hyperbolic tangent — the paper's hash-head activation (sign surrogate)."""
 
+    _CACHE_ATTRS = ("_out",)
+
     def __init__(self) -> None:
         super().__init__()
         self._out: np.ndarray | None = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        self._out = np.tanh(np.asarray(x, dtype=np.float64))
+        self._out = np.tanh(np.asarray(x, dtype=self.dtype))
         return self._out
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._out is None:
             raise RuntimeError("backward called before forward")
-        return np.asarray(grad_output, dtype=np.float64) * (1.0 - self._out**2)
+        return np.asarray(grad_output, dtype=self.dtype) * (1.0 - self._out**2)
 
 
 class Sigmoid(Module):
     """Logistic function, used by the BGAN-style baseline discriminator."""
+
+    _CACHE_ATTRS = ("_out",)
 
     def __init__(self) -> None:
         super().__init__()
         self._out: np.ndarray | None = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float64)
+        x = np.asarray(x, dtype=self.dtype)
         out = np.empty_like(x)
         pos = x >= 0
         out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
@@ -84,4 +92,4 @@ class Sigmoid(Module):
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._out is None:
             raise RuntimeError("backward called before forward")
-        return np.asarray(grad_output, dtype=np.float64) * self._out * (1 - self._out)
+        return np.asarray(grad_output, dtype=self.dtype) * self._out * (1 - self._out)

@@ -13,7 +13,19 @@ from repro.utils.rng import as_generator
 
 
 class Conv2d(Module):
-    """Cross-correlation with square kernels over NCHW tensors."""
+    """Cross-correlation with square kernels over NCHW tensors.
+
+    The im2col patch buffer is reused across forwards through a two-slot
+    ring, so steady-state training does not reallocate the (large) column
+    matrix every step.  Two slots cover the deepest overlap the trainers
+    use (two captured forwards before their backwards, see
+    :meth:`Module.capture_cache`); a third overlapping forward reuses the
+    first slot's storage, and ``backward`` detects that (each forward
+    stamps its slot with a sequence number) and raises instead of
+    silently computing gradients from the wrong columns.
+    """
+
+    _CACHE_ATTRS = ("_cols", "_x_shape", "_out_hw", "_fwd_id", "_fwd_slot")
 
     def __init__(
         self,
@@ -50,14 +62,34 @@ class Conv2d(Module):
         self._cols: np.ndarray | None = None
         self._x_shape: tuple[int, int, int, int] | None = None
         self._out_hw: tuple[int, int] | None = None
+        self._fwd_id: int | None = None
+        self._fwd_slot: int | None = None
+        self._col_ring: list[np.ndarray | None] = [None, None]
+        self._ring_owner: list[int | None] = [None, None]
+        self._ring_slot = 0
+        self._fwd_seq = 0
+
+    def _apply_dtype(self, dtype: np.dtype) -> None:
+        super()._apply_dtype(dtype)
+        self._col_ring = [None, None]
+        self._ring_owner = [None, None]
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float64)
+        x = np.asarray(x, dtype=self.dtype)
         if x.ndim != 4 or x.shape[1] != self.in_channels:
             raise ShapeError(
                 f"Conv2d expected (n, {self.in_channels}, h, w), got {x.shape}"
             )
-        cols, out_h, out_w = im2col(x, self.kernel_size, self.stride, self.padding)
+        slot = self._ring_slot
+        self._ring_slot = 1 - slot
+        cols, out_h, out_w = im2col(
+            x, self.kernel_size, self.stride, self.padding,
+            out=self._col_ring[slot],
+        )
+        self._col_ring[slot] = cols
+        self._fwd_seq += 1
+        self._fwd_id = self._ring_owner[slot] = self._fwd_seq
+        self._fwd_slot = slot
         n = x.shape[0]
         w_mat = self.weight.data.reshape(self.out_channels, -1)  # (out_c, c*k*k)
         out = cols @ w_mat.T  # (n*oh*ow, out_c)
@@ -71,9 +103,14 @@ class Conv2d(Module):
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._cols is None or self._x_shape is None or self._out_hw is None:
             raise RuntimeError("backward called before forward")
+        if self._ring_owner[self._fwd_slot] != self._fwd_id:
+            raise RuntimeError(
+                "Conv2d im2col buffer was overwritten by a later forward; "
+                "at most two forwards can be live (captured) at once"
+            )
         n = self._x_shape[0]
         out_h, out_w = self._out_hw
-        grad = np.asarray(grad_output, dtype=np.float64)
+        grad = np.asarray(grad_output, dtype=self.dtype)
         if grad.shape != (n, self.out_channels, out_h, out_w):
             raise ShapeError(
                 f"grad_output shape {grad.shape} does not match forward output "

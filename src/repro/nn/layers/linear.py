@@ -19,6 +19,8 @@ class Linear(Module):
     layers).
     """
 
+    _CACHE_ATTRS = ("_x",)
+
     def __init__(
         self,
         in_features: int,
@@ -52,7 +54,7 @@ class Linear(Module):
         self._x: np.ndarray | None = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float64)
+        x = np.asarray(x, dtype=self.dtype)
         if x.ndim != 2 or x.shape[1] != self.in_features:
             raise ShapeError(
                 f"Linear expected (n, {self.in_features}), got {x.shape}"
@@ -60,13 +62,13 @@ class Linear(Module):
         self._x = x
         out = x @ self.weight.data
         if self.bias is not None:
-            out = out + self.bias.data
+            out += self.bias.data  # in place: out is freshly allocated
         return out
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._x is None:
             raise RuntimeError("backward called before forward")
-        grad_output = np.asarray(grad_output, dtype=np.float64)
+        grad_output = np.asarray(grad_output, dtype=self.dtype)
         self.weight.grad += self._x.T @ grad_output
         if self.bias is not None:
             self.bias.grad += grad_output.sum(axis=0)

@@ -18,6 +18,8 @@ class _BatchNorm(Module):
     Scale/shift are exempt from weight decay.
     """
 
+    _CACHE_ATTRS = ("_cache",)
+
     def __init__(self, num_features: int, momentum: float = 0.1, eps: float = 1e-5):
         super().__init__()
         if num_features <= 0:
@@ -45,16 +47,25 @@ class _BatchNorm(Module):
         self._reduce_axes: tuple[int, ...] = (0,)
         self._shape_for_broadcast: tuple[int, ...] = (1, num_features)
 
+    def _apply_dtype(self, dtype: np.dtype) -> None:
+        super()._apply_dtype(dtype)
+        # Re-point the running-stat aliases at the freshly cast buffers.
+        self.running_mean = self._buffers["running_mean"]
+        self.running_var = self._buffers["running_var"]
+
     def _check_input(self, x: np.ndarray) -> None:
         raise NotImplementedError
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float64)
+        x = np.asarray(x, dtype=self.dtype)
         self._check_input(x)
         bshape = self._shape_for_broadcast
         if self.training:
             mean = x.mean(axis=self._reduce_axes)
-            var = x.var(axis=self._reduce_axes)
+            centered = x - mean.reshape(bshape)
+            # One pass over the already-centered values instead of x.var()
+            # re-centering internally.
+            var = (centered * centered).mean(axis=self._reduce_axes)
             m = self.momentum
             # In-place so the registered buffers stay aliased.
             self.running_mean *= 1 - m
@@ -63,18 +74,22 @@ class _BatchNorm(Module):
             self.running_var += m * var
         else:
             mean, var = self.running_mean, self.running_var
+            centered = x - mean.reshape(bshape)
         inv_std = 1.0 / np.sqrt(var + self.eps)
-        x_hat = (x - mean.reshape(bshape)) * inv_std.reshape(bshape)
+        x_hat = centered * inv_std.reshape(bshape)
         if self.training:
-            self._cache = (x_hat, inv_std, x - mean.reshape(bshape))
-        return self.gamma.data.reshape(bshape) * x_hat + self.beta.data.reshape(bshape)
+            self._cache = (x_hat, inv_std, centered)
+        # Fold scale and shift into one affine pass: γ·x̂ + β = x̂·γ + β.
+        out = x_hat * self.gamma.data.reshape(bshape)
+        out += self.beta.data.reshape(bshape)
+        return out
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._cache is None:
             raise RuntimeError("backward called before forward (in training mode)")
         x_hat, inv_std, _ = self._cache
         bshape = self._shape_for_broadcast
-        grad = np.asarray(grad_output, dtype=np.float64)
+        grad = np.asarray(grad_output, dtype=self.dtype)
         axes = self._reduce_axes
         m = float(np.prod([x_hat.shape[a] for a in axes]))
 
@@ -82,11 +97,14 @@ class _BatchNorm(Module):
         self.beta.grad += grad.sum(axis=axes)
 
         grad_x_hat = grad * self.gamma.data.reshape(bshape)
-        # Standard batch-norm backward over the normalized activations.
-        term1 = grad_x_hat
+        # Standard batch-norm backward over the normalized activations,
+        # accumulated in place on the freshly allocated grad_x_hat.
         term2 = grad_x_hat.sum(axis=axes, keepdims=True) / m
-        term3 = x_hat * (grad_x_hat * x_hat).sum(axis=axes, keepdims=True) / m
-        return (term1 - term2 - term3) * inv_std.reshape(bshape)
+        term3 = x_hat * ((grad_x_hat * x_hat).sum(axis=axes, keepdims=True) / m)
+        grad_x_hat -= term2
+        grad_x_hat -= term3
+        grad_x_hat *= inv_std.reshape(bshape)
+        return grad_x_hat
 
 
 class BatchNorm1d(_BatchNorm):

@@ -12,6 +12,8 @@ from repro.nn.module import Module
 class MaxPool2d(Module):
     """Non-overlapping-by-default max pooling (stride defaults to kernel)."""
 
+    _CACHE_ATTRS = ("_argmax", "_x_shape", "_out_hw")
+
     def __init__(self, kernel_size: int, stride: int | None = None) -> None:
         super().__init__()
         if kernel_size <= 0:
@@ -23,7 +25,7 @@ class MaxPool2d(Module):
         self._out_hw: tuple[int, int] | None = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float64)
+        x = np.asarray(x, dtype=self.dtype)
         if x.ndim != 4:
             raise ShapeError(f"MaxPool2d expects NCHW input, got {x.shape}")
         n, c, h, w = x.shape
@@ -45,7 +47,7 @@ class MaxPool2d(Module):
         n, c, h, w = self._x_shape
         out_h, out_w = self._out_hw
         k, s = self.kernel_size, self.stride
-        grad = np.asarray(grad_output, dtype=np.float64).reshape(-1)
+        grad = np.asarray(grad_output, dtype=self.dtype).reshape(-1)
         if grad.size != n * c * out_h * out_w:
             raise ShapeError(
                 f"grad_output has {grad.size} elements, expected "
@@ -53,7 +55,7 @@ class MaxPool2d(Module):
             )
         from repro.nn.functional import col2im
 
-        grad_cols = np.zeros((n * c * out_h * out_w, k * k), dtype=np.float64)
+        grad_cols = np.zeros((n * c * out_h * out_w, k * k), dtype=self.dtype)
         grad_cols[np.arange(grad.size), self._argmax] = grad
         grad_x = col2im(grad_cols, (n * c, 1, h, w), k, s, 0)
         return grad_x.reshape(n, c, h, w)
@@ -62,12 +64,14 @@ class MaxPool2d(Module):
 class GlobalAvgPool2d(Module):
     """Average over spatial dimensions: (n, c, h, w) -> (n, c)."""
 
+    _CACHE_ATTRS = ("_x_shape",)
+
     def __init__(self) -> None:
         super().__init__()
         self._x_shape: tuple[int, int, int, int] | None = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float64)
+        x = np.asarray(x, dtype=self.dtype)
         if x.ndim != 4:
             raise ShapeError(f"GlobalAvgPool2d expects NCHW input, got {x.shape}")
         self._x_shape = x.shape
@@ -77,5 +81,5 @@ class GlobalAvgPool2d(Module):
         if self._x_shape is None:
             raise RuntimeError("backward called before forward")
         n, c, h, w = self._x_shape
-        grad = np.asarray(grad_output, dtype=np.float64).reshape(n, c, 1, 1)
+        grad = np.asarray(grad_output, dtype=self.dtype).reshape(n, c, 1, 1)
         return np.broadcast_to(grad / (h * w), self._x_shape).copy()

@@ -10,16 +10,18 @@ from repro.nn.module import Module
 class Flatten(Module):
     """Collapse all axes after the batch axis: (n, ...) -> (n, prod(...))."""
 
+    _CACHE_ATTRS = ("_x_shape",)
+
     def __init__(self) -> None:
         super().__init__()
         self._x_shape: tuple[int, ...] | None = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float64)
+        x = np.asarray(x, dtype=self.dtype)
         self._x_shape = x.shape
         return x.reshape(x.shape[0], -1)
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._x_shape is None:
             raise RuntimeError("backward called before forward")
-        return np.asarray(grad_output, dtype=np.float64).reshape(self._x_shape)
+        return np.asarray(grad_output, dtype=self.dtype).reshape(self._x_shape)

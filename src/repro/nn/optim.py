@@ -40,6 +40,11 @@ class SGD(Optimizer):
     The update matches the paper's setup: ``v <- momentum*v + (g + wd*w)``
     then ``w <- w - lr*v``.  Parameters flagged ``weight_decay_enabled=False``
     (batch-norm affine terms) skip the decay.
+
+    The update is fused in place: velocity and a per-parameter scratch buffer
+    are preallocated once, so a step allocates nothing and inherits each
+    parameter's dtype (create the optimizer *after* casting the network with
+    ``Module.to``).
     """
 
     def __init__(
@@ -57,15 +62,18 @@ class SGD(Optimizer):
         self.momentum = momentum
         self.weight_decay = weight_decay
         self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+        self._scratch = [np.empty_like(p.data) for p in self.parameters]
 
     def step(self) -> None:
-        for p, v in zip(self.parameters, self._velocity):
-            grad = p.grad
-            if self.weight_decay > 0 and p.weight_decay_enabled:
-                grad = grad + self.weight_decay * p.data
-            v *= self.momentum
-            v += grad
-            p.data -= self.learning_rate * v
+        lr, mu, wd = self.learning_rate, self.momentum, self.weight_decay
+        for p, v, s in zip(self.parameters, self._velocity, self._scratch):
+            np.multiply(v, mu, out=v)
+            v += p.grad
+            if wd > 0 and p.weight_decay_enabled:
+                np.multiply(p.data, wd, out=s)
+                v += s
+            np.multiply(v, lr, out=s)
+            p.data -= s
 
 
 class Adam(Optimizer):

@@ -150,7 +150,7 @@ class VGGHashNet(Module):
         )
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float64)
+        x = np.asarray(x, dtype=self.dtype)
         if x.ndim != 4 or x.shape[1:] != (
             self.in_channels,
             self.image_size,

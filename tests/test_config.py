@@ -18,6 +18,7 @@ class TestTrainConfig:
         assert cfg.momentum == pytest.approx(0.9)
         assert cfg.weight_decay == pytest.approx(1e-5)
         assert cfg.batch_size == 128
+        assert cfg.dtype == "float64"  # bit-stable default; float32 opt-in
 
     @pytest.mark.parametrize(
         "kwargs",
@@ -27,6 +28,8 @@ class TestTrainConfig:
             {"weight_decay": -1.0},
             {"batch_size": 0},
             {"epochs": 0},
+            {"dtype": "float16"},
+            {"dtype": "double"},
         ],
     )
     def test_rejects_bad_values(self, kwargs):

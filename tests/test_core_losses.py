@@ -6,7 +6,10 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.losses import (
+    _reference_cib_contrastive_loss,
+    _reference_modified_contrastive_loss,
     cib_contrastive_loss,
+    cib_objective,
     modified_contrastive_loss,
     pairwise_cosine,
     quantization_loss,
@@ -120,6 +123,153 @@ class TestCibContrastive:
         with pytest.raises(ShapeError):
             cib_contrastive_loss(rng.normal(size=(3, 4)),
                                  rng.normal(size=(4, 4)), gamma=0.3)
+
+
+def _random_batch(rng, t, k):
+    z = rng.normal(size=(t, k))
+    q = rng.random((t, t))
+    q = (q + q.T) / 2
+    np.fill_diagonal(q, 1.0)
+    return z, q
+
+
+class TestVectorizedEquivalence:
+    """The loop-free losses must reproduce the seed loop oracles exactly
+    (<= 1e-9 in value and gradient, float64) — including the degenerate
+    rows the loops handled by skipping."""
+
+    @pytest.mark.parametrize("t,k,lam", [(2, 4, 0.5), (6, 8, 0.5),
+                                         (33, 16, 0.3), (128, 64, 0.8)])
+    def test_mcl_matches_reference(self, rng, t, k, lam):
+        z, q = _random_batch(rng, t, k)
+        loss, grad = modified_contrastive_loss(z, q, lam=lam, gamma=0.2)
+        ref_loss, ref_grad = _reference_modified_contrastive_loss(
+            z, q, lam=lam, gamma=0.2
+        )
+        assert loss == pytest.approx(ref_loss, abs=1e-9)
+        np.testing.assert_allclose(grad, ref_grad, atol=1e-9, rtol=0)
+
+    def test_mcl_mixed_empty_positive_rows(self, rng):
+        """Rows with no positives must contribute nothing, exactly like the
+        loop's ``continue``."""
+        z, q = _random_batch(rng, 8, 6)
+        q[0, 1:] = 0.0  # row 0 has no positives at lam=0.5
+        q[1:, 0] = 0.0
+        loss, grad = modified_contrastive_loss(z, q, lam=0.5, gamma=0.3)
+        ref_loss, ref_grad = _reference_modified_contrastive_loss(
+            z, q, lam=0.5, gamma=0.3
+        )
+        assert loss == pytest.approx(ref_loss, abs=1e-9)
+        np.testing.assert_allclose(grad, ref_grad, atol=1e-9, rtol=0)
+
+    def test_mcl_mixed_empty_negative_rows(self, rng):
+        """Rows whose whole batch is positive (empty Φ_i) are skipped."""
+        z, q = _random_batch(rng, 8, 6)
+        q[0, :] = 0.99  # row 0: everything positive at lam=0.5
+        q[:, 0] = 0.99
+        q[0, 0] = 1.0
+        loss, grad = modified_contrastive_loss(z, q, lam=0.5, gamma=0.3)
+        ref_loss, ref_grad = _reference_modified_contrastive_loss(
+            z, q, lam=0.5, gamma=0.3
+        )
+        assert loss == pytest.approx(ref_loss, abs=1e-9)
+        np.testing.assert_allclose(grad, ref_grad, atol=1e-9, rtol=0)
+
+    def test_mcl_all_rows_inactive(self, rng):
+        z, q = _random_batch(rng, 5, 4)
+        for lam in (2.0, -1.0):  # no positives anywhere / no negatives
+            loss, grad = modified_contrastive_loss(z, q, lam=lam, gamma=0.3)
+            ref_loss, ref_grad = _reference_modified_contrastive_loss(
+                z, q, lam=lam, gamma=0.3
+            )
+            assert loss == ref_loss == 0.0
+            np.testing.assert_array_equal(grad, ref_grad)
+
+    @pytest.mark.parametrize("t,k", [(1, 3), (4, 6), (64, 32)])
+    def test_cib_matches_reference(self, rng, t, k):
+        z1 = rng.normal(size=(t, k))
+        z2 = rng.normal(size=(t, k))
+        loss, g1, g2 = cib_contrastive_loss(z1, z2, gamma=0.4)
+        ref_loss, r1, r2 = _reference_cib_contrastive_loss(z1, z2, gamma=0.4)
+        assert loss == pytest.approx(ref_loss, abs=1e-9)
+        np.testing.assert_allclose(g1, r1, atol=1e-9, rtol=0)
+        np.testing.assert_allclose(g2, r2, atol=1e-9, rtol=0)
+
+    def test_fused_objective_matches_composition(self, rng):
+        z, q = _random_batch(rng, 10, 8)
+        breakdown, grad = uhscm_objective(z, q, alpha=0.3, beta=0.01,
+                                          gamma=0.25, lam=0.5)
+        ls, gs = similarity_preserving_loss(z, q)
+        lc, gc = _reference_modified_contrastive_loss(z, q, lam=0.5,
+                                                      gamma=0.25)
+        lq, gq = quantization_loss(z)
+        assert breakdown.total == pytest.approx(ls + 0.3 * lc + 0.01 * lq,
+                                                abs=1e-9)
+        np.testing.assert_allclose(grad, gs + 0.3 * gc + 0.01 * gq,
+                                   atol=1e-9, rtol=0)
+
+    def test_float32_stays_float32(self, rng):
+        z, q = _random_batch(rng, 8, 6)
+        z32, q32 = z.astype(np.float32), q.astype(np.float32)
+        _, grad = modified_contrastive_loss(z32, q32, lam=0.5, gamma=0.3)
+        assert grad.dtype == np.float32
+        _, g1, g2 = cib_contrastive_loss(z32, z32 + 1, gamma=0.3)
+        assert g1.dtype == g2.dtype == np.float32
+        breakdown, grad = uhscm_objective(z32, q32, alpha=0.2, beta=0.001,
+                                          gamma=0.2, lam=0.5)
+        assert grad.dtype == np.float32
+        assert np.isfinite(breakdown.total)
+
+    def test_float32_close_to_float64(self, rng):
+        z, q = _random_batch(rng, 16, 8)
+        loss64, grad64 = modified_contrastive_loss(z, q, lam=0.5, gamma=0.3)
+        loss32, grad32 = modified_contrastive_loss(
+            z.astype(np.float32), q.astype(np.float32), lam=0.5, gamma=0.3
+        )
+        assert loss32 == pytest.approx(loss64, rel=1e-4)
+        np.testing.assert_allclose(grad32, grad64, atol=1e-4)
+
+
+class TestCibObjective:
+    def test_matches_composition(self, rng):
+        z1 = rng.normal(size=(6, 8))
+        z2 = rng.normal(size=(6, 8))
+        _, q = _random_batch(rng, 6, 8)
+        breakdown, g1, g2 = cib_objective(z1, z2, q, alpha=0.2, beta=0.001,
+                                          gamma=0.4)
+        jc, c1, c2 = _reference_cib_contrastive_loss(z1, z2, gamma=0.4)
+        ls, gs = similarity_preserving_loss(z1, q)
+        lq, gq = quantization_loss(z1)
+        assert breakdown.total == pytest.approx(
+            ls + 0.2 * jc + 0.001 * lq, abs=1e-9
+        )
+        np.testing.assert_allclose(g1, gs + 0.001 * gq + 0.2 * c1,
+                                   atol=1e-9, rtol=0)
+        np.testing.assert_allclose(g2, 0.2 * c2, atol=1e-9, rtol=0)
+
+    def test_gradients_match_numerical(self, rng):
+        z1 = rng.normal(size=(4, 6))
+        z2 = rng.normal(size=(4, 6))
+        _, q = _random_batch(rng, 4, 6)
+
+        def total(za, zb):
+            return cib_objective(za, zb, q, alpha=0.3, beta=0.01,
+                                 gamma=0.4)[0].total
+
+        _, g1, g2 = cib_objective(z1, z2, q, alpha=0.3, beta=0.01, gamma=0.4)
+        n1 = numerical_gradient(lambda za: total(za, z2), z1.copy())
+        n2 = numerical_gradient(lambda zb: total(z1, zb), z2.copy())
+        np.testing.assert_allclose(g1, n1, atol=1e-7)
+        np.testing.assert_allclose(g2, n2, atol=1e-7)
+
+    def test_alpha_zero_drops_contrastive(self, rng):
+        z1 = rng.normal(size=(5, 4))
+        z2 = rng.normal(size=(5, 4))
+        _, q = _random_batch(rng, 5, 4)
+        breakdown, g1, g2 = cib_objective(z1, z2, q, alpha=0.0, beta=0.001,
+                                          gamma=0.4)
+        assert breakdown.contrastive == 0.0
+        np.testing.assert_array_equal(g2, 0.0)
 
 
 class TestObjective:

@@ -87,6 +87,56 @@ class TestTrainer:
         with pytest.raises(ConfigurationError):
             trainer.fit(inputs, np.eye(3))
 
+    def test_records_batches_per_epoch(self, world, cifar_tiny):
+        net = self._network(world)
+        trainer = UHSCMTrainer(net, small_config(n_bits=8))
+        inputs = net.prepare_inputs(cifar_tiny.train_images)  # n=80, batch=40
+        history = trainer.fit(inputs, np.eye(80), epochs=3)
+        assert history.batches == [2, 2, 2]
+
+    def test_zero_batch_epoch_raises(self, world, cifar_tiny):
+        """n=1 means every mini-batch is skipped; the seed silently averaged
+        an empty list into NaN + RuntimeWarning."""
+        net = self._network(world)
+        trainer = UHSCMTrainer(net, small_config(n_bits=8))
+        inputs = net.prepare_inputs(cifar_tiny.train_images[:1])
+        with pytest.raises(ConfigurationError, match="zero batches"):
+            trainer.fit(inputs, np.eye(1))
+
+    def test_float32_policy_casts_stack(self, world):
+        net = self._network(world)
+        config = small_config(
+            n_bits=8, train=TrainConfig(epochs=2, batch_size=40,
+                                        dtype="float32")
+        )
+        trainer = UHSCMTrainer(net, config)
+        assert net.dtype == np.float32
+        assert all(p.data.dtype == np.float32 for p in net.parameters())
+        assert all(v.dtype == np.float32 for v in trainer.optimizer._velocity)
+
+    @pytest.mark.parametrize("contrastive", ["mcl", "cib"])
+    def test_float32_tracks_float64_trajectory(self, world, cifar_tiny,
+                                               contrastive):
+        """The dtype policy is a throughput knob, not a different model:
+        the float32 loss trajectory must track float64 tightly."""
+        labels = cifar_tiny.train_labels.astype(float)
+        q = labels @ labels.T
+        q /= max(q.max(), 1.0)
+        np.fill_diagonal(q, 1.0)
+        histories = {}
+        for dtype in ("float64", "float32"):
+            net = self._network(world)
+            config = small_config(
+                n_bits=8, train=TrainConfig(epochs=4, batch_size=40,
+                                            dtype=dtype)
+            )
+            trainer = UHSCMTrainer(net, config, contrastive=contrastive)
+            inputs = net.prepare_inputs(cifar_tiny.train_images)
+            histories[dtype] = trainer.fit(inputs, q)
+        f64, f32 = histories["float64"], histories["float32"]
+        np.testing.assert_allclose(f32.total, f64.total, rtol=1e-3)
+        assert abs(f32.total[-1] - f64.total[-1]) <= 1e-3 * abs(f64.total[-1])
+
 
 class TestUHSCM:
     def test_fit_encode_cycle(self, clip, cifar_tiny):
