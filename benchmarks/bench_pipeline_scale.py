@@ -1,0 +1,114 @@
+"""Pipeline-scale benchmark: the staged artifact store vs. from-scratch runs.
+
+The workload is the multi-bit-width UHSCM sweep every table/figure runner
+performs: 2 datasets × {16, 32, 64, 128} bits, each cell fitted and fully
+evaluated (MAP + P@N).  Three passes run the identical sweep:
+
+1. **uncached** — no store; every cell re-mines Q and trains from scratch
+   (the pre-pipeline behaviour);
+2. **cold store** — a fresh on-disk :class:`~repro.pipeline.ArtifactStore`;
+   Q is mined once per dataset and shared across all four bit widths
+   (asserted via the per-stage counters: one ``mine`` miss per dataset,
+   hits for every other bit width);
+3. **warm store** — the same store again; every (method, n_bits) cell
+   replays from its encode artifact, which is exactly what a resumed
+   ``table1 --resume`` run does per finished cell.
+
+Gate: the warm-cache sweep must be **≥2x** faster than the uncached sweep,
+and every pass's mAP / precision@N reports must be *bit-identical* — the
+cache must never change a single reported number.  The cold-store pass is
+reported alongside (its win is bounded by the mine/train cost ratio, so it
+is informational, not gated).
+
+Run::
+
+    cd benchmarks && PYTHONPATH=../src python -m pytest -q bench_pipeline_scale.py
+"""
+
+from __future__ import annotations
+
+from conftest import BENCH_SCALE, assert_speedup, timed
+
+from repro.experiments.runner import ExperimentContext
+from repro.pipeline import ArtifactStore
+
+DATASETS: tuple[str, ...] = ("cifar10", "nuswide")
+BIT_LENGTHS: tuple[int, ...] = (16, 32, 64, 128)
+#: Epochs per fit; sized so training dominates the sweep the way it does at
+#: full reproduction scale (whose default is 60).
+EPOCHS = 40
+REQUIRED_SPEEDUP = 2.0
+
+
+def _run_sweep(store: ArtifactStore | None) -> dict:
+    """Fit + evaluate every (dataset, bits) cell; returns the full reports."""
+    reports: dict[tuple[str, int], dict] = {}
+    for dataset in DATASETS:
+        ctx = ExperimentContext(dataset, scale=BENCH_SCALE, seed=0,
+                                epochs=EPOCHS, store=store)
+        for bits in BIT_LENGTHS:
+            fit = ctx.fit("UHSCM", bits)
+            report = ctx.evaluate(fit)
+            reports[(dataset, bits)] = {
+                "map": report.map,
+                "precision_at_n": dict(report.precision_at_n),
+            }
+    return reports
+
+
+def _assert_bit_identical(reference: dict, candidate: dict, label: str) -> None:
+    assert reference.keys() == candidate.keys(), label
+    for cell, expected in reference.items():
+        got = candidate[cell]
+        assert got["map"] == expected["map"], (
+            f"{label}: mAP differs at {cell}: {got['map']!r} vs "
+            f"{expected['map']!r}"
+        )
+        assert got["precision_at_n"] == expected["precision_at_n"], (
+            f"{label}: P@N differs at {cell}"
+        )
+
+
+def test_pipeline_scale_speedup(results_dir, tmp_path):
+    t_uncached, reports_uncached = timed(lambda: _run_sweep(None))
+
+    store = ArtifactStore(tmp_path / "artifact-cache")
+    t_cold, reports_cold = timed(lambda: _run_sweep(store))
+    cold_stats = store.stats()
+    # Q reuse within one run: each dataset mines once, the other three bit
+    # widths replay the mine -> denoise -> build_q chain from the store.
+    assert cold_stats["stages"]["mine"]["misses"] == len(DATASETS)
+    assert cold_stats["stages"]["mine"]["hits"] == (
+        len(DATASETS) * (len(BIT_LENGTHS) - 1)
+    )
+    assert cold_stats["stages"]["train"]["misses"] == (
+        len(DATASETS) * len(BIT_LENGTHS)
+    )
+
+    t_warm, reports_warm = timed(lambda: _run_sweep(store))
+    warm_stats = store.stats()
+    assert warm_stats["stages"]["encode"]["hits"] >= (
+        len(DATASETS) * len(BIT_LENGTHS)
+    )
+
+    _assert_bit_identical(reports_uncached, reports_cold, "cold store")
+    _assert_bit_identical(reports_uncached, reports_warm, "warm store")
+
+    cells = len(DATASETS) * len(BIT_LENGTHS)
+    assert_speedup(
+        results_dir,
+        "pipeline_scale",
+        baseline_seconds=t_uncached,
+        candidate_seconds=t_warm,
+        required=REQUIRED_SPEEDUP,
+        lines=[
+            "pipeline scale: "
+            f"{len(DATASETS)} datasets x {BIT_LENGTHS} bits "
+            f"({cells} UHSCM cells, scale {BENCH_SCALE}, {EPOCHS} epochs)",
+            f"uncached : {t_uncached * 1e3:8.1f} ms (mine+train per cell)",
+            f"cold     : {t_cold * 1e3:8.1f} ms (Q mined once per dataset, "
+            f"{t_uncached / t_cold:.2f}x vs uncached)",
+            f"warm     : {t_warm * 1e3:8.1f} ms (every cell replayed)",
+            "reports  : bit-identical across all three passes",
+        ],
+    )

@@ -11,6 +11,8 @@ depends on:
 - :mod:`repro.baselines` — the nine unsupervised hashing baselines of Table 1.
 - :mod:`repro.retrieval` — Hamming retrieval engine and evaluation metrics.
 - :mod:`repro.analysis` — k-means, t-SNE, and cluster-separation analysis.
+- :mod:`repro.pipeline` — staged Algorithm-1 execution over a
+  content-addressed artifact store (Q reuse, resumable experiment runs).
 - :mod:`repro.experiments` — runners regenerating every table and figure.
 
 Quickstart::
@@ -41,12 +43,14 @@ from repro.errors import (
     ShapeError,
     VocabularyError,
 )
+from repro.pipeline import ArtifactStore, dataset_key
 
 __version__ = "1.0.0"
 
 __all__ = [
     "DEFAULT_PROMPT_TEMPLATE",
     "PAPER_BIT_LENGTHS",
+    "ArtifactStore",
     "ConfigurationError",
     "ConvergenceError",
     "NotFittedError",
@@ -56,6 +60,7 @@ __all__ = [
     "UHSCM",
     "UHSCMConfig",
     "VocabularyError",
+    "dataset_key",
     "paper_config",
 ]
 

@@ -5,7 +5,10 @@ Subcommands::
     python -m repro.cli train   --dataset cifar10 --bits 64 --out model.npz
     python -m repro.cli eval    --dataset cifar10 --model model.npz
     python -m repro.cli table1  --scale 0.03 --bits 32 64
+    python -m repro.cli table1  --resume           # continue a killed run
     python -m repro.cli table2  --scale 0.03
+    python -m repro.cli cache   stats              # artifact-store counters
+    python -m repro.cli cache   clear
     python -m repro.cli export  --results benchmarks/results --out EXPERIMENTS.md
     python -m repro.cli bench-retrieval --n 10000 --bits 64
     python -m repro.cli bench-train --n 512 --bits 64 --batch 128
@@ -17,17 +20,53 @@ them against each other; ``bench-train`` times ``UHSCMTrainer.fit`` steps
 for both contrastive modes (mcl/cib) under both dtype policies
 (float64/float32).  All commands run fully offline on the simulated
 substrate.
+
+``--cache-dir`` on ``train`` / ``table1`` / ``table2`` (or ``--resume``,
+which implies the default cache dir) attaches a content-addressed
+:class:`~repro.pipeline.ArtifactStore` to
+the run: UHSCM mines each dataset's Q once for every bit width, finished
+(method, n_bits) cells persist on disk, and an interrupted ``table1`` /
+``table2`` run resumes where it died.  The default location is
+``$REPRO_CACHE_DIR`` or ``.repro-cache``.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from collections.abc import Sequence
+from pathlib import Path
 
 from repro.config import PAPER_BIT_LENGTHS, paper_config
 from repro.datasets import DATASET_NAMES, load_dataset
 from repro.vlp import SimCLIP
+
+
+def default_cache_dir() -> Path:
+    """The artifact-store location used when none is given explicitly."""
+    return Path(os.environ.get("REPRO_CACHE_DIR", ".repro-cache"))
+
+
+def _make_store(args: argparse.Namespace):
+    """Build the run's ArtifactStore, or None when caching is off."""
+    cache_dir = getattr(args, "cache_dir", None)
+    if cache_dir is None and getattr(args, "resume", False):
+        cache_dir = default_cache_dir()
+    if cache_dir is None:
+        return None
+    from repro.pipeline import ArtifactStore
+
+    return ArtifactStore(cache_dir)
+
+
+def _print_store_summary(store) -> None:
+    if store is None:
+        return
+    stats = store.stats()
+    print(f"cache: {stats['hits']} hits, {stats['misses']} misses, "
+          f"{stats['disk_entries']} artifacts on disk "
+          f"({stats['disk_bytes'] / 1e6:.1f} MB) in {store.cache_dir}")
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -37,17 +76,27 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=0)
 
 
+def _add_cache_dir(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="artifact-store directory enabling Q reuse and "
+                             "resumable fits (default: caching off)")
+
+
 def _cmd_train(args: argparse.Namespace) -> int:
     from repro.core.persistence import save_uhscm
     from repro.core.uhscm import UHSCM
+    from repro.pipeline import dataset_key
 
+    store = _make_store(args)
     data = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
     clip = SimCLIP(data.world)
     model = UHSCM(paper_config(args.dataset, n_bits=args.bits,
                                seed=args.seed), clip=clip)
-    model.fit(data.train_images)
+    model.fit(data.train_images, store=store,
+              data_key=dataset_key(args.dataset, args.scale, args.seed))
     print(f"trained UHSCM ({args.bits} bits) on {args.dataset}; "
           f"kept {len(model.mined_concepts)} concepts")
+    _print_store_summary(store)
     if args.out:
         save_uhscm(model, args.out)
         print(f"saved model to {args.out}")
@@ -151,18 +200,52 @@ def _cmd_bench_train(args: argparse.Namespace) -> int:
 def _cmd_table1(args: argparse.Namespace) -> int:
     from repro.experiments import run_table1
 
+    store = _make_store(args)
     table = run_table1(scale=args.scale, bit_lengths=tuple(args.bits),
-                       datasets=(args.dataset,), seed=args.seed)
+                       datasets=(args.dataset,), seed=args.seed,
+                       epochs=args.epochs, store=store)
     print(table.render())
+    _print_store_summary(store)
     return 0
 
 
 def _cmd_table2(args: argparse.Namespace) -> int:
     from repro.experiments import run_table2
 
+    store = _make_store(args)
     table = run_table2(scale=args.scale, bit_lengths=tuple(args.bits),
-                       datasets=(args.dataset,), seed=args.seed)
+                       datasets=(args.dataset,), seed=args.seed,
+                       epochs=args.epochs, store=store)
     print(table.render())
+    _print_store_summary(store)
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.pipeline import ArtifactStore
+
+    cache_dir = Path(args.cache_dir) if args.cache_dir else default_cache_dir()
+    if args.action == "clear":
+        if not cache_dir.exists():
+            print(f"cache {cache_dir} does not exist; nothing to clear")
+            return 0
+        removed = ArtifactStore(cache_dir).clear()
+        print(f"cleared {removed} artifacts from {cache_dir}")
+        return 0
+    if not cache_dir.exists():
+        print(f"cache {cache_dir} does not exist")
+        return 0
+    stats = ArtifactStore(cache_dir).stats()
+    print(f"artifact store at {cache_dir}")
+    print(f"  hits      : {stats['hits']}")
+    print(f"  misses    : {stats['misses']}")
+    print(f"  puts      : {stats['puts']}")
+    print(f"  evictions : {stats['evictions']}")
+    print(f"  on disk   : {stats['disk_entries']} artifacts, "
+          f"{stats['disk_bytes'] / 1e6:.1f} MB")
+    for stage, counts in sorted(stats["stages"].items()):
+        print(f"  stage {stage:<8}: {counts['hits']} hits, "
+              f"{counts['misses']} misses")
     return 0
 
 
@@ -181,6 +264,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_train = sub.add_parser("train", help="train UHSCM on one dataset")
     _add_common(p_train)
+    _add_cache_dir(p_train)
     p_train.add_argument("--bits", type=int, default=64)
     p_train.add_argument("--out", default=None, help="save model here (.npz)")
     p_train.set_defaults(func=_cmd_train)
@@ -224,14 +308,35 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_t1 = sub.add_parser("table1", help="regenerate Table 1")
     _add_common(p_t1)
+    _add_cache_dir(p_t1)
     p_t1.add_argument("--bits", type=int, nargs="+",
                       default=list(PAPER_BIT_LENGTHS))
+    p_t1.add_argument("--epochs", type=int, default=None,
+                      help="override training epochs (reproduction scale)")
+    p_t1.add_argument("--resume", action="store_true",
+                      help="replay finished cells from the artifact store "
+                           "(implies --cache-dir, default location)")
     p_t1.set_defaults(func=_cmd_table1)
 
     p_t2 = sub.add_parser("table2", help="regenerate Table 2 (ablations)")
     _add_common(p_t2)
+    _add_cache_dir(p_t2)
     p_t2.add_argument("--bits", type=int, nargs="+", default=[32, 64])
+    p_t2.add_argument("--epochs", type=int, default=None,
+                      help="override training epochs (reproduction scale)")
+    p_t2.add_argument("--resume", action="store_true",
+                      help="replay finished cells from the artifact store "
+                           "(implies --cache-dir, default location)")
     p_t2.set_defaults(func=_cmd_table2)
+
+    p_cache = sub.add_parser(
+        "cache", help="inspect or clear the pipeline artifact store"
+    )
+    p_cache.add_argument("action", choices=("stats", "clear"))
+    p_cache.add_argument("--cache-dir", default=None, metavar="DIR",
+                         help="artifact-store directory "
+                              "(default: $REPRO_CACHE_DIR or .repro-cache)")
+    p_cache.set_defaults(func=_cmd_cache)
 
     p_exp = sub.add_parser("export", help="assemble EXPERIMENTS.md")
     p_exp.add_argument("--results", default="benchmarks/results")

@@ -54,6 +54,10 @@ class HashingNetwork:
         self.mode = mode
         self.dtype = resolve_dtype(dtype)
         self.feature_extractor = feature_extractor
+        self.feature_dim = feature_dim if mode == "feature" else None
+        self.image_size = image_size if mode == "conv" else None
+        self.conv_profile = conv_profile if mode == "conv" else None
+        self.hidden_dims = tuple(hidden_dims)
         if mode == "feature":
             if feature_extractor is None or feature_dim is None:
                 raise ConfigurationError(

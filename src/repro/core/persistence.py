@@ -1,52 +1,67 @@
 """Save / load fitted hashing models.
 
-A fitted UHSCM (or any feature-mode hashing network) is fully described by
-its configuration, the mined concept set, and the network parameters; this
-module serializes all three to a single ``.npz`` archive so a trained model
-can be shipped and served without retraining.
+A fitted UHSCM is fully described by its configuration, the mined concept
+set, the network construction metadata, and the network parameters; this
+module serializes all of it to a single archive so a trained model can be
+shipped and served without retraining.  The archive format (``__meta__``
+JSON + named arrays in one ``.npz``) is the
+:mod:`repro.pipeline.store` format — persistence is a thin serialization
+client of the same machinery that backs the artifact cache.
+
+Format history:
+
+- **v1** saved only the config + feature-mode parameters: a conv-mode model
+  silently reloaded as a feature-mode network fed mismatched parameters,
+  and ``contrastive`` / ``conv_profile`` / the mined-vs-injected Q
+  distinction were lost on round trip.
+- **v2** records ``network_mode``, ``conv_profile``, ``image_size``,
+  ``contrastive``, and ``concepts_mined``, and reconstructs conv networks
+  faithfully.
 """
 
 from __future__ import annotations
 
-import json
 from dataclasses import asdict
 from pathlib import Path
 
 import numpy as np
 
 from repro.config import TrainConfig, UHSCMConfig
+from repro.core.hashing_network import HashingNetwork
 from repro.core.uhscm import UHSCM
 from repro.errors import ConfigurationError, NotFittedError
+from repro.pipeline import read_archive, write_archive
 from repro.vlp.clip import SimCLIP
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
+
+_PARAM_PREFIX = "param/"
 
 
 def save_uhscm(model: UHSCM, path: str | Path) -> Path:
     """Serialize a fitted UHSCM model to ``path`` (.npz archive)."""
-    if model.network is None:
+    if model.network is None or model.similarity_ is None:
         raise NotFittedError("cannot save an unfitted UHSCM model")
     path = Path(path)
-    config = asdict(model.config)
     meta = {
         "format_version": _FORMAT_VERSION,
-        "config": config,
+        "config": asdict(model.config),
         "concepts": list(model.concepts),
-        "mined_concepts": list(model.mined_concepts)
-        if model.similarity_ is not None
-        else [],
+        "concepts_mined": bool(model.similarity_.mined),
+        "mined_concepts": (
+            list(model.similarity_.concepts) if model.similarity_.mined
+            else None
+        ),
         "network_mode": model.network_mode,
+        "conv_profile": model.conv_profile,
+        "image_size": model.network.image_size,
+        "contrastive": model.contrastive,
         "world_seed": model.clip.world.config.seed,
     }
     state = model.network.net.state_dict()
-    np.savez(
-        path,
-        __meta__=np.frombuffer(
-            json.dumps(meta).encode("utf-8"), dtype=np.uint8
-        ),
-        **{f"param/{k}": v for k, v in state.items()},
+    return write_archive(
+        path, meta, {f"{_PARAM_PREFIX}{k}": v for k, v in state.items()}
     )
-    return path
 
 
 def load_uhscm(path: str | Path, clip: SimCLIP) -> UHSCM:
@@ -59,11 +74,13 @@ def load_uhscm(path: str | Path, clip: SimCLIP) -> UHSCM:
     path = Path(path)
     if not path.exists():
         raise ConfigurationError(f"no such model file: {path}")
-    archive = np.load(path)
-    meta = json.loads(bytes(archive["__meta__"]).decode("utf-8"))
-    if meta.get("format_version") != _FORMAT_VERSION:
+    meta, arrays = read_archive(path)
+    version = meta.get("format_version")
+    if version != _FORMAT_VERSION:
         raise ConfigurationError(
-            f"unsupported model format {meta.get('format_version')!r}"
+            f"unsupported model format {version!r}: this build reads format "
+            f"{_FORMAT_VERSION}; format-1 archives predate the conv-mode and "
+            f"contrastive metadata and must be re-trained and re-saved"
         )
     if meta["world_seed"] != clip.world.config.seed:
         raise ConfigurationError(
@@ -74,36 +91,56 @@ def load_uhscm(path: str | Path, clip: SimCLIP) -> UHSCM:
     config_dict = dict(meta["config"])
     config_dict["train"] = TrainConfig(**config_dict["train"])
     config = UHSCMConfig(**config_dict)
-    model = UHSCM(config, clip=clip, concepts=tuple(meta["concepts"]),
-                  network_mode=meta["network_mode"])
-
-    # Rebuild the network shell, then load parameters into it.
-    feature_dim = clip.world.backbone_features(
-        np.zeros(
-            (1, clip.world.config.channels, clip.world.config.image_size,
-             clip.world.config.image_size)
-        )
-    ).shape[1]
-    from repro.core.hashing_network import HashingNetwork
-
-    model.network = HashingNetwork(
-        config.n_bits,
-        mode="feature",
-        feature_extractor=clip.world.backbone_features,
-        feature_dim=feature_dim,
-        rng=config.seed,
+    model = UHSCM(
+        config,
+        clip=clip,
+        concepts=tuple(meta["concepts"]),
+        network_mode=meta["network_mode"],
+        conv_profile=meta["conv_profile"],
+        contrastive=meta["contrastive"],
     )
-    state = {
-        key[len("param/"):]: archive[key]
-        for key in archive.files
-        if key.startswith("param/")
-    }
-    model.network.net.load_state_dict(state)
+
+    # Rebuild the network shell exactly as it was constructed at fit time,
+    # then load the trained parameters into it.
+    if meta["network_mode"] == "conv":
+        model.network = HashingNetwork(
+            config.n_bits,
+            mode="conv",
+            image_size=meta["image_size"],
+            conv_profile=meta["conv_profile"],
+            rng=config.seed,
+        )
+    else:
+        feature_dim = clip.world.backbone_features(
+            np.zeros(
+                (1, clip.world.config.channels, clip.world.config.image_size,
+                 clip.world.config.image_size)
+            )
+        ).shape[1]
+        model.network = HashingNetwork(
+            config.n_bits,
+            mode="feature",
+            feature_extractor=clip.world.backbone_features,
+            feature_dim=feature_dim,
+            rng=config.seed,
+        )
+    if config.train.dtype != "float64":
+        # A fitted network lives in the training dtype (the trainer casts it
+        # at construction); reload into the same dtype for identical codes.
+        model.network.to(config.train.dtype)
+    model.network.net.load_state_dict(
+        {
+            key[len(_PARAM_PREFIX):]: value
+            for key, value in arrays.items()
+            if key.startswith(_PARAM_PREFIX)
+        }
+    )
 
     from repro.core.similarity import SimilarityResult
 
     model.similarity_ = SimilarityResult(
         matrix=np.zeros((0, 0)),
-        concepts=tuple(meta["mined_concepts"]),
+        concepts=tuple(meta["mined_concepts"] or ()),
+        mined=bool(meta["concepts_mined"]),
     )
     return model

@@ -18,6 +18,15 @@ import numpy as np
 from repro.core.denoising import DenoisingResult, denoise_concepts
 from repro.core.mining import ConceptMiner, concept_distributions
 from repro.errors import ConfigurationError
+from repro.pipeline import (
+    BUILD_Q,
+    DENOISE,
+    MINE,
+    ArtifactStore,
+    Stage,
+    canonical,
+    run_stage,
+)
 from repro.utils.mathops import cosine_similarity_matrix
 from repro.vlp.clip import SimCLIP
 from repro.vlp.prompts import PromptTemplate
@@ -35,12 +44,23 @@ def similarity_from_distributions(distributions: np.ndarray) -> np.ndarray:
 
 @dataclass
 class SimilarityResult:
-    """The similarity matrix Q plus provenance from the mining pipeline."""
+    """The similarity matrix Q plus provenance from the mining pipeline.
+
+    ``mined`` distinguishes a Q produced by the §3.3 pipeline (where
+    ``concepts`` is the post-denoising set, possibly empty) from a Q that
+    was *injected* by the caller and never mined at all; the two used to be
+    indistinguishable after a save/load round trip.  ``fingerprint`` is the
+    build_q stage address when the result came through an
+    :class:`~repro.pipeline.ArtifactStore`, letting downstream train
+    stages chain on it without re-hashing the matrix.
+    """
 
     matrix: np.ndarray
     concepts: tuple[str, ...]
     denoising: DenoisingResult | None = None
     distributions: np.ndarray | None = field(default=None, repr=False)
+    mined: bool = True
+    fingerprint: str | None = None
 
 
 class SemanticSimilarityGenerator:
@@ -99,11 +119,138 @@ class SemanticSimilarityGenerator:
             distributions=distributions,
         )
 
-    def generate(self, images: np.ndarray) -> SimilarityResult:
-        """Full §3.3 pipeline; averages matrices across templates if several."""
-        results = [self._generate_single(images, t) for t in self.templates]
+    # -- staged execution over an artifact store ---------------------------
+
+    def _template_key(self, template: PromptTemplate | str | None) -> str:
+        from repro.vlp.clip import resolve_template
+
+        return resolve_template(template).template
+
+    def _stage_params(self, data_key: dict) -> dict:
+        """Everything upstream of mining that can change its output."""
+        return {
+            "data": dict(data_key),
+            "world": canonical(self.clip.world.config),
+            "tau_scale": self.tau_scale,
+        }
+
+    def _generate_single_staged(
+        self,
+        images: np.ndarray,
+        template: PromptTemplate | str | None,
+        store: ArtifactStore,
+        data_key: dict,
+    ) -> SimilarityResult:
+        """mine → denoise → build_q, each step replayed from the store."""
+        miner = ConceptMiner(self.clip, template=template, tau_scale=self.tau_scale)
+        mine_stage = Stage(
+            MINE,
+            params={
+                **self._stage_params(data_key),
+                "concepts": list(self.concepts),
+                "template": self._template_key(template),
+            },
+        )
+        mine_art = run_stage(
+            store,
+            mine_stage,
+            lambda: (
+                {"concepts": list(self.concepts)},
+                {"distributions": miner.mine(images, self.concepts)},
+            ),
+        )
+        distributions = mine_art.arrays["distributions"]
+        concepts = self.concepts
+        denoising: DenoisingResult | None = None
+        upstream = mine_stage
+        if self.denoise:
+            denoise_stage = Stage(DENOISE, inputs=(mine_stage.fingerprint,))
+
+            def build_denoise() -> tuple[dict, dict[str, np.ndarray]]:
+                result = denoise_concepts(self.concepts, distributions)
+                kept = result.kept_concepts
+                # Second prompting pass over the clean set C'.
+                return (
+                    {"kept_concepts": list(kept)},
+                    {
+                        "distributions": miner.mine(images, kept),
+                        "kept_mask": result.kept_mask,
+                        "frequencies": result.frequencies,
+                    },
+                )
+
+            den_art = run_stage(store, denoise_stage, build_denoise)
+            concepts = tuple(den_art.meta["kept_concepts"])
+            denoising = DenoisingResult(
+                original_concepts=self.concepts,
+                kept_mask=den_art.arrays["kept_mask"].astype(bool),
+                frequencies=den_art.arrays["frequencies"],
+            )
+            distributions = den_art.arrays["distributions"]
+            upstream = denoise_stage
+        q_stage = Stage(BUILD_Q, inputs=(upstream.fingerprint,))
+        final_distributions = distributions
+        q_art = run_stage(
+            store,
+            q_stage,
+            lambda: (
+                {"concepts": list(concepts)},
+                {"matrix": similarity_from_distributions(final_distributions)},
+            ),
+        )
+        return SimilarityResult(
+            matrix=q_art.arrays["matrix"],
+            concepts=concepts,
+            denoising=denoising,
+            distributions=distributions,
+            fingerprint=q_art.key,
+        )
+
+    def generate(
+        self,
+        images: np.ndarray,
+        store: ArtifactStore | None = None,
+        data_key: dict | None = None,
+    ) -> SimilarityResult:
+        """Full §3.3 pipeline; averages matrices across templates if several.
+
+        With a ``store`` and a ``data_key`` (the provenance of ``images``,
+        see :func:`repro.pipeline.dataset_key`) the pipeline runs staged:
+        mine, denoise, and Q construction each replay from the store when a
+        matching artifact exists, and the results are bit-identical to the
+        direct path.  The caller owns the contract that ``data_key``
+        uniquely identifies ``images``.
+        """
+        if store is not None and data_key is not None:
+            results = [
+                self._generate_single_staged(images, t, store, data_key)
+                for t in self.templates
+            ]
+        else:
+            results = [self._generate_single(images, t) for t in self.templates]
         if len(results) == 1:
             return results[0]
+        if store is not None and data_key is not None:
+            avg_stage = Stage(
+                BUILD_Q,
+                params={"op": "average"},
+                inputs=tuple(r.fingerprint or "" for r in results),
+            )
+            avg_art = run_stage(
+                store,
+                avg_stage,
+                lambda: (
+                    {"concepts": list(results[0].concepts)},
+                    {"matrix": np.mean([r.matrix for r in results], axis=0)},
+                ),
+            )
+            return SimilarityResult(
+                matrix=avg_art.arrays["matrix"],
+                concepts=results[0].concepts,
+                denoising=results[0].denoising,
+                distributions=None,
+                fingerprint=avg_art.key,
+            )
         averaged = np.mean([r.matrix for r in results], axis=0)
         return SimilarityResult(
             matrix=averaged,
@@ -123,10 +270,32 @@ class ImageFeatureSimilarityGenerator:
     def __init__(self, clip: SimCLIP) -> None:
         self.clip = clip
 
-    def generate(self, images: np.ndarray) -> SimilarityResult:
-        features = self.clip.image_features(images)
+    def generate(
+        self,
+        images: np.ndarray,
+        store: ArtifactStore | None = None,
+        data_key: dict | None = None,
+    ) -> SimilarityResult:
+        def build() -> tuple[dict, dict[str, np.ndarray]]:
+            features = self.clip.image_features(images)
+            return {"concepts": []}, {"matrix": cosine_similarity_matrix(features)}
+
+        if store is not None and data_key is not None:
+            stage = Stage(
+                BUILD_Q,
+                params={
+                    "kind": "image-features",
+                    "data": dict(data_key),
+                    "world": canonical(self.clip.world.config),
+                },
+            )
+            art = run_stage(store, stage, build)
+            return SimilarityResult(
+                matrix=art.arrays["matrix"], concepts=(), fingerprint=art.key
+            )
+        _, arrays = build()
         return SimilarityResult(
-            matrix=cosine_similarity_matrix(features),
+            matrix=arrays["matrix"],
             concepts=(),
             denoising=None,
             distributions=None,
@@ -164,24 +333,65 @@ class ClusteredConceptSimilarityGenerator:
         self.tau_scale = tau_scale
         self.seed = seed
 
-    def generate(self, images: np.ndarray) -> SimilarityResult:
+    def generate(
+        self,
+        images: np.ndarray,
+        store: ArtifactStore | None = None,
+        data_key: dict | None = None,
+    ) -> SimilarityResult:
         from repro.analysis.kmeans import kmeans  # local: avoids import cycle
         from repro.vlp.clip import resolve_template
 
-        # Embed the concept prompts, cluster them, use centroids as concepts.
         template = resolve_template(self.template)
-        text_emb = self.clip.encode_texts(template.format_all(list(self.concepts)))
-        result = kmeans(text_emb, self.n_clusters, seed=self.seed)
-        centroids = result.centroids / np.maximum(
-            np.linalg.norm(result.centroids, axis=1, keepdims=True), 1e-12
-        )
-        image_emb = self.clip.encode_images(images)
-        scores = (np.clip(image_emb @ centroids.T, -1.0, 1.0) + 1.0) / 2.0
-        tau = self.tau_scale * self.n_clusters
-        distributions = concept_distributions(scores, tau)
+        concepts = tuple(f"cluster_{i}" for i in range(self.n_clusters))
+
+        def build() -> tuple[dict, dict[str, np.ndarray]]:
+            # Embed the concept prompts, cluster them, use centroids as
+            # concepts.
+            text_emb = self.clip.encode_texts(
+                template.format_all(list(self.concepts))
+            )
+            result = kmeans(text_emb, self.n_clusters, seed=self.seed)
+            centroids = result.centroids / np.maximum(
+                np.linalg.norm(result.centroids, axis=1, keepdims=True), 1e-12
+            )
+            image_emb = self.clip.encode_images(images)
+            scores = (np.clip(image_emb @ centroids.T, -1.0, 1.0) + 1.0) / 2.0
+            tau = self.tau_scale * self.n_clusters
+            distributions = concept_distributions(scores, tau)
+            return (
+                {"concepts": list(concepts)},
+                {
+                    "matrix": similarity_from_distributions(distributions),
+                    "distributions": distributions,
+                },
+            )
+
+        if store is not None and data_key is not None:
+            stage = Stage(
+                BUILD_Q,
+                params={
+                    "kind": "clustered",
+                    "data": dict(data_key),
+                    "world": canonical(self.clip.world.config),
+                    "concepts": list(self.concepts),
+                    "template": template.template,
+                    "n_clusters": self.n_clusters,
+                    "tau_scale": self.tau_scale,
+                    "seed": self.seed,
+                },
+            )
+            art = run_stage(store, stage, build)
+            return SimilarityResult(
+                matrix=art.arrays["matrix"],
+                concepts=concepts,
+                distributions=art.arrays["distributions"],
+                fingerprint=art.key,
+            )
+        _, arrays = build()
         return SimilarityResult(
-            matrix=similarity_from_distributions(distributions),
-            concepts=tuple(f"cluster_{i}" for i in range(self.n_clusters)),
+            matrix=arrays["matrix"],
+            concepts=concepts,
             denoising=None,
-            distributions=distributions,
+            distributions=arrays["distributions"],
         )

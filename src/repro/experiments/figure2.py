@@ -30,10 +30,12 @@ def run_figure2(
     methods: tuple[str, ...] = TABLE1_METHODS,
     seed: int = 0,
     epochs: int | None = None,
+    store=None,
 ) -> dict[tuple[str, int], CurveFamily]:
     """Regenerate every Figure 2 panel; keys are (dataset, bits)."""
     panels: dict[tuple[str, int], CurveFamily] = {}
-    contexts = make_contexts(datasets, scale=scale, seed=seed, epochs=epochs)
+    contexts = make_contexts(datasets, scale=scale, seed=seed, epochs=epochs,
+                             store=store)
     for dataset, ctx in contexts.items():
         relevance = relevance_matrix(
             ctx.dataset.query_labels, ctx.dataset.database_labels

@@ -36,7 +36,13 @@ def _sweep_mined_q(
     values: tuple[float, ...],
     n_bits: int,
 ) -> SweepResult:
-    """Sweep a training-side parameter against a fixed, pre-mined Q."""
+    """Sweep a training-side parameter against a fixed, pre-mined Q.
+
+    The Q construction runs through the context's artifact store when one
+    is attached, so the sweep shares the same mine → denoise → build_q
+    artifacts as every other experiment on this dataset (and each swept
+    fit's train stage is itself resumable).
+    """
     sweep = SweepResult(parameter=parameter, dataset=ctx.dataset_name)
     base = ctx.uhscm_config(n_bits)
     generator = SemanticSimilarityGenerator(
@@ -44,13 +50,16 @@ def _sweep_mined_q(
         templates=(base.prompt_template,),
         tau_scale=base.tau_scale, denoise=base.denoise,
     )
-    q = generator.generate(ctx.dataset.train_images).matrix
+    similarity = generator.generate(
+        ctx.dataset.train_images, store=ctx.store, data_key=ctx.data_key()
+    )
     for value in values:
         if parameter == "gamma" and value == 0.0:
             continue  # gamma must stay positive
         config = replace(base, **{parameter: value})
         model = UHSCM(config, clip=ctx.clip)
-        model.fit(ctx.dataset.train_images, similarity=q)
+        model.fit(ctx.dataset.train_images, similarity=similarity,
+                  store=ctx.store, data_key=ctx.data_key())
         sweep.record(value, ctx.evaluate_model(model).map)
     return sweep
 
@@ -64,7 +73,8 @@ def _sweep_tau(
     for value in values:
         config = replace(base, tau_scale=value)
         model = UHSCM(config, clip=ctx.clip)
-        model.fit(ctx.dataset.train_images)
+        model.fit(ctx.dataset.train_images, store=ctx.store,
+                  data_key=ctx.data_key())
         sweep.record(value, ctx.evaluate_model(model).map)
     return sweep
 
@@ -76,10 +86,12 @@ def run_figure4(
     parameters: tuple[str, ...] = tuple(SWEEP_GRIDS),
     seed: int = 0,
     epochs: int | None = None,
+    store=None,
 ) -> dict[tuple[str, str], SweepResult]:
     """Regenerate every Figure 4 panel; keys are (dataset, parameter)."""
     panels: dict[tuple[str, str], SweepResult] = {}
-    contexts = make_contexts(datasets, scale=scale, seed=seed, epochs=epochs)
+    contexts = make_contexts(datasets, scale=scale, seed=seed, epochs=epochs,
+                             store=store)
     for dataset, ctx in contexts.items():
         for parameter in parameters:
             values = SWEEP_GRIDS[parameter]

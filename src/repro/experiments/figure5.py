@@ -49,9 +49,11 @@ def run_figure5(
     seed: int = 0,
     epochs: int | None = None,
     tsne_iters: int = 250,
+    store=None,
 ) -> Figure5Result:
     """Regenerate Figure 5's comparison on the CIFAR10 database split."""
-    ctx = ExperimentContext("cifar10", scale=scale, seed=seed, epochs=epochs)
+    ctx = ExperimentContext("cifar10", scale=scale, seed=seed, epochs=epochs,
+                            store=store)
     labels_full = ctx.dataset.database_labels.argmax(axis=1)
     rng = np.random.default_rng(seed)
     subset = rng.choice(

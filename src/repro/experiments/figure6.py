@@ -45,9 +45,11 @@ def run_figure6(
     n_queries: int = 20,
     seed: int = 0,
     epochs: int | None = None,
+    store=None,
 ) -> Figure6Result:
     """Regenerate Figure 6 as precision@10 + hit grids on sampled queries."""
-    ctx = ExperimentContext("cifar10", scale=scale, seed=seed, epochs=epochs)
+    ctx = ExperimentContext("cifar10", scale=scale, seed=seed, epochs=epochs,
+                            store=store)
     rng = np.random.default_rng(seed)
     n_queries = min(n_queries, ctx.dataset.n_query)
     sample = rng.choice(ctx.dataset.n_query, size=n_queries, replace=False)

@@ -5,6 +5,13 @@ code lengths.  :class:`ExperimentContext` owns the dataset + SimCLIP pair
 for one dataset at one scale and knows how to fit any method by Table 1 name
 and produce its query/database codes, so each table/figure runner is a thin
 loop.
+
+Fitting runs through the staged pipeline: when the context holds an
+:class:`~repro.pipeline.ArtifactStore`, every fit is an ``encode`` stage
+whose artifact (query + database codes) persists on disk, UHSCM fits share
+one mine → denoise → build_q chain per dataset across all bit widths and
+all variants with the same similarity settings, and a killed table run
+resumes from its completed (method, n_bits) cells.
 """
 
 from __future__ import annotations
@@ -19,6 +26,7 @@ from repro.core.uhscm import UHSCM
 from repro.core.variants import get_variant
 from repro.datasets import HashingDataset, load_dataset
 from repro.errors import ConfigurationError
+from repro.pipeline import ENCODE, ArtifactStore, Stage, dataset_key, run_stage
 from repro.retrieval import RetrievalReport, evaluate_codes
 from repro.utils.timer import Timer
 from repro.vlp import SimCLIP
@@ -34,7 +42,11 @@ _SHALLOW = frozenset({"LSH", "SH", "ITQ", "AGH"})
 
 @dataclass
 class FitResult:
-    """Codes + timing for one fitted method on one dataset at one bit width."""
+    """Codes + timing for one fitted method on one dataset at one bit width.
+
+    ``fit_seconds`` for a fit replayed from the artifact store is the wall
+    time recorded when the cell originally trained, not the replay cost.
+    """
 
     method: str
     n_bits: int
@@ -55,6 +67,9 @@ class ExperimentContext:
     #: None keeps the direct BLAS distance path.  All backends are exact, so
     #: table/figure numbers are identical either way.
     backend: str | None = None
+    #: Optional artifact store making fits resumable and Q shareable across
+    #: bit widths; None keeps the purely in-process cache.
+    store: ArtifactStore | None = None
     dataset: HashingDataset = field(init=False)
     clip: SimCLIP = field(init=False)
     _cache: dict[tuple[str, int], FitResult] = field(default_factory=dict)
@@ -63,6 +78,23 @@ class ExperimentContext:
         self.dataset = load_dataset(self.dataset_name, scale=self.scale,
                                     seed=self.seed)
         self.clip = SimCLIP(self.dataset.world)
+
+    # -- pipeline provenance -----------------------------------------------
+
+    def data_key(self) -> dict:
+        """Provenance of this context's training split for stage fingerprints."""
+        return dataset_key(self.dataset_name, self.scale, self.seed)
+
+    def _fit_stage(self, label: str, n_bits: int) -> Stage:
+        return Stage(
+            ENCODE,
+            params={
+                "data": self.data_key(),
+                "method": label,
+                "n_bits": n_bits,
+                "epochs": self.epochs,
+            },
+        )
 
     # -- method construction ---------------------------------------------------
 
@@ -103,21 +135,77 @@ class ExperimentContext:
 
     # -- fitting ----------------------------------------------------------------
 
+    def _fit_model(self, model, use_store: bool) -> float:
+        """Fit ``model`` on the training split; returns wall seconds."""
+        timer = Timer()
+        with timer:
+            if use_store and isinstance(model, UHSCM):
+                # The staged path shares the mined Q across every fit with
+                # the same similarity settings and replays finished
+                # train stages.
+                model.fit(self.dataset.train_images, store=self.store,
+                          data_key=self.data_key())
+            else:
+                model.fit(self.dataset.train_images)
+        return timer.elapsed
+
+    def _staged_fit(
+        self, label: str, n_bits: int, make_model, use_cache: bool
+    ) -> FitResult:
+        """Fit + encode through the artifact store (when one is attached)."""
+        use_store = use_cache and self.store is not None
+        stage = self._fit_stage(label, n_bits)
+
+        def build() -> tuple[dict, dict[str, np.ndarray]]:
+            model = make_model()
+            elapsed = self._fit_model(model, use_store)
+            return (
+                {"method": label, "n_bits": n_bits, "fit_seconds": elapsed},
+                {
+                    "query_codes": model.encode(self.dataset.query_images),
+                    "database_codes": model.encode(
+                        self.dataset.database_images
+                    ),
+                },
+            )
+
+        artifact = run_stage(self.store if use_store else None, stage, build)
+        return FitResult(
+            method=label,
+            n_bits=n_bits,
+            query_codes=artifact.arrays["query_codes"],
+            database_codes=artifact.arrays["database_codes"],
+            fit_seconds=artifact.meta["fit_seconds"],
+        )
+
     def fit(self, name: str, n_bits: int, use_cache: bool = True) -> FitResult:
-        """Fit a method and encode query + database splits (cached)."""
+        """Fit a method and encode query + database splits (cached).
+
+        ``use_cache=False`` bypasses both the in-process cache and the
+        artifact store (Table 3 times fits, so a replayed artifact or a
+        pre-mined Q would corrupt its numbers).
+        """
         key = (name, n_bits)
         if use_cache and key in self._cache:
             return self._cache[key]
-        method = self.build_method(name, n_bits)
-        timer = Timer()
-        with timer:
-            method.fit(self.dataset.train_images)
-        result = FitResult(
-            method=name,
-            n_bits=n_bits,
-            query_codes=method.encode(self.dataset.query_images),
-            database_codes=method.encode(self.dataset.database_images),
-            fit_seconds=timer.elapsed,
+        result = self._staged_fit(
+            name, n_bits, lambda: self.build_method(name, n_bits), use_cache
+        )
+        if use_cache:
+            self._cache[key] = result
+        return result
+
+    def fit_variant(
+        self, variant: str, n_bits: int, use_cache: bool = True
+    ) -> FitResult:
+        """Fit a Table 2 variant and encode both splits (cached like fit)."""
+        label = f"variant:{variant}"
+        key = (label, n_bits)
+        if use_cache and key in self._cache:
+            return self._cache[key]
+        result = self._staged_fit(
+            label, n_bits, lambda: self.build_variant(variant, n_bits),
+            use_cache,
         )
         if use_cache:
             self._cache[key] = result
@@ -135,7 +223,7 @@ class ExperimentContext:
         )
 
     def evaluate_model(self, model, **kwargs) -> RetrievalReport:
-        """Evaluate an already-fitted model object (used by Table 2 / Fig 4)."""
+        """Evaluate an already-fitted model object (used by Figure 4)."""
         kwargs.setdefault("backend", self.backend)
         return evaluate_codes(
             model.encode(self.dataset.query_images),
@@ -151,11 +239,13 @@ def make_contexts(
     scale: float,
     seed: int = 0,
     epochs: int | None = None,
+    store: ArtifactStore | None = None,
 ) -> dict[str, ExperimentContext]:
     """Build one context per dataset."""
     if not datasets:
         raise ConfigurationError("no datasets requested")
     return {
-        name: ExperimentContext(name, scale=scale, seed=seed, epochs=epochs)
+        name: ExperimentContext(name, scale=scale, seed=seed, epochs=epochs,
+                                store=store)
         for name in datasets
     }

@@ -69,10 +69,18 @@ def run_table1(
     methods: tuple[str, ...] = TABLE1_METHODS,
     seed: int = 0,
     epochs: int | None = None,
+    store=None,
 ) -> MapTable:
-    """Regenerate Table 1 at the requested reproduction scale."""
+    """Regenerate Table 1 at the requested reproduction scale.
+
+    With an :class:`~repro.pipeline.ArtifactStore`, finished
+    (method, n_bits) cells replay from their encode artifacts, so an
+    interrupted run resumes where it died and UHSCM mines each dataset's
+    Q once for all bit widths.
+    """
     table = MapTable(title="Table 1: MAP of Hamming ranking")
-    contexts = make_contexts(datasets, scale=scale, seed=seed, epochs=epochs)
+    contexts = make_contexts(datasets, scale=scale, seed=seed, epochs=epochs,
+                             store=store)
     for dataset, ctx in contexts.items():
         for bits in bit_lengths:
             for method in methods:

@@ -39,15 +39,21 @@ def run_table2(
     variants: tuple[str, ...] = tuple(VARIANTS),
     seed: int = 0,
     epochs: int | None = None,
+    store=None,
 ) -> MapTable:
-    """Regenerate Table 2 (variant ablations) at the requested scale."""
+    """Regenerate Table 2 (variant ablations) at the requested scale.
+
+    With an artifact store, variants sharing similarity settings (e.g.
+    ``ours`` / ``wo_mcl`` / ``cl``, which differ only on the training side)
+    reuse one mined Q per dataset, and finished cells replay on resume.
+    """
     table = MapTable(title="Table 2: MAPs of UHSCM and its variants")
-    contexts = make_contexts(datasets, scale=scale, seed=seed, epochs=epochs)
+    contexts = make_contexts(datasets, scale=scale, seed=seed, epochs=epochs,
+                             store=store)
     for dataset, ctx in contexts.items():
         for bits in bit_lengths:
             for key in variants:
-                model = ctx.build_variant(key, bits)
-                model.fit(ctx.dataset.train_images)
-                report = ctx.evaluate_model(model)
+                fit = ctx.fit_variant(key, bits)
+                report = ctx.evaluate(fit)
                 table.record(key, dataset, bits, report.map)
     return table

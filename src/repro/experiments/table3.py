@@ -37,7 +37,12 @@ def run_table3(
     seed: int = 0,
     epochs: int | None = None,
 ) -> TimingTable:
-    """Regenerate Table 3 (fit wall-clock, seconds) at reproduction scale."""
+    """Regenerate Table 3 (fit wall-clock, seconds) at reproduction scale.
+
+    Timing runs never touch the artifact store (``use_cache=False``): a
+    replayed fit or a pre-mined Q would report the cache's speed, not the
+    method's.
+    """
     table = TimingTable(title="Table 3: time consumption (seconds, repro scale)")
     contexts = make_contexts(datasets, scale=scale, seed=seed, epochs=epochs)
     for dataset, ctx in contexts.items():

@@ -1,0 +1,335 @@
+"""Content-addressed artifact store backing the staged UHSCM pipeline.
+
+Artifacts are ``(meta, arrays)`` pairs — a small JSON-able metadata dict
+plus named numpy arrays — addressed by their stage fingerprint.  The store
+is a bounded in-memory LRU over an optional on-disk layer:
+
+- **memory**: an ``OrderedDict`` of the most recently used artifacts, so a
+  sweep that re-reads the same Q matrix never touches disk;
+- **disk** (when ``cache_dir`` is given): one ``.npz`` archive per artifact
+  under ``<cache_dir>/objects/``, written atomically (tmp + rename) so a
+  killed run never leaves a truncated artifact behind.  File mtimes double
+  as the LRU clock; eviction removes the stalest archives once
+  ``max_entries`` / ``max_bytes`` is exceeded.
+
+Hit/miss/put/eviction counters are kept per stage and — with a disk layer —
+persisted to ``<cache_dir>/stats.json`` after every event, so ``repro.cli
+cache stats`` reports on runs that died mid-flight.
+
+The archive format (``__meta__`` JSON row + named arrays in one ``.npz``)
+is shared with :mod:`repro.core.persistence`, which is a thin client of
+:func:`write_archive` / :func:`read_archive`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+_META_KEY = "__meta__"
+
+
+# -- archive (de)serialization ------------------------------------------------
+
+
+def write_archive(
+    path: str | Path, meta: dict, arrays: dict[str, np.ndarray]
+) -> Path:
+    """Atomically write ``meta`` + ``arrays`` as one ``.npz`` archive."""
+    path = Path(path)
+    if _META_KEY in arrays:
+        raise ConfigurationError(f"array name {_META_KEY!r} is reserved")
+    payload = {
+        _META_KEY: np.frombuffer(
+            json.dumps(meta).encode("utf-8"), dtype=np.uint8
+        )
+    }
+    payload.update(arrays)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=path.name, suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            np.savez(handle, **payload)
+        os.replace(tmp_name, path)
+    except BaseException:
+        if os.path.exists(tmp_name):
+            os.unlink(tmp_name)
+        raise
+    return path
+
+
+def read_archive(path: str | Path) -> tuple[dict, dict[str, np.ndarray]]:
+    """Read an archive written by :func:`write_archive`."""
+    path = Path(path)
+    if not path.exists():
+        raise ConfigurationError(f"no such archive: {path}")
+    with np.load(path) as archive:
+        if _META_KEY not in archive.files:
+            raise ConfigurationError(f"not a repro archive (no metadata): {path}")
+        meta = json.loads(bytes(archive[_META_KEY]).decode("utf-8"))
+        arrays = {k: archive[k] for k in archive.files if k != _META_KEY}
+    return meta, arrays
+
+
+# -- the store ----------------------------------------------------------------
+
+
+@dataclass
+class Artifact:
+    """One cached stage output: JSON metadata plus named arrays."""
+
+    key: str
+    meta: dict
+    arrays: dict[str, np.ndarray] = field(default_factory=dict)
+
+
+class ArtifactStore:
+    """Bounded, content-addressed cache of pipeline stage outputs.
+
+    Parameters
+    ----------
+    cache_dir:
+        Directory for the on-disk layer; ``None`` keeps the store purely
+        in-memory (artifacts die with the process, stats are not persisted).
+    max_entries / max_bytes:
+        Disk-layer bounds; the least recently used archives are evicted
+        once either is exceeded.  ``None`` disables the bound.
+    memory_entries / memory_bytes:
+        Bounds of the in-memory LRU layer (always bounded); an artifact
+        whose arrays alone exceed ``memory_bytes`` is served from disk
+        only, so table-scale Q matrices do not stay pinned in RAM.
+    """
+
+    def __init__(
+        self,
+        cache_dir: str | Path | None = None,
+        max_entries: int | None = None,
+        max_bytes: int | None = None,
+        memory_entries: int = 64,
+        memory_bytes: int = 256 * 1024 * 1024,
+    ) -> None:
+        if memory_entries < 0:
+            raise ConfigurationError(
+                f"memory_entries must be >= 0: {memory_entries}"
+            )
+        if memory_bytes < 0:
+            raise ConfigurationError(
+                f"memory_bytes must be >= 0: {memory_bytes}"
+            )
+        if max_entries is not None and max_entries <= 0:
+            raise ConfigurationError(f"max_entries must be positive: {max_entries}")
+        if max_bytes is not None and max_bytes <= 0:
+            raise ConfigurationError(f"max_bytes must be positive: {max_bytes}")
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        self.memory_entries = memory_entries
+        self.memory_bytes = memory_bytes
+        self._memory: OrderedDict[str, Artifact] = OrderedDict()
+        self._memory_used = 0
+        self._stats: dict = {"hits": 0, "misses": 0, "puts": 0,
+                             "evictions": 0, "stages": {}}
+        if self.cache_dir is not None:
+            self._objects_dir.mkdir(parents=True, exist_ok=True)
+            self._sweep_orphans()
+            self._load_stats()
+
+    def _sweep_orphans(self) -> None:
+        """Remove temp files a killed process left behind mid-write."""
+        assert self.cache_dir is not None
+        for directory in (self.cache_dir, self._objects_dir):
+            for orphan in directory.glob("*.tmp"):
+                try:
+                    orphan.unlink()
+                except OSError:
+                    pass
+
+    # -- paths -------------------------------------------------------------
+
+    @property
+    def _objects_dir(self) -> Path:
+        assert self.cache_dir is not None
+        return self.cache_dir / "objects"
+
+    @property
+    def _stats_path(self) -> Path:
+        assert self.cache_dir is not None
+        return self.cache_dir / "stats.json"
+
+    def _object_path(self, key: str) -> Path:
+        return self._objects_dir / f"{key}.npz"
+
+    # -- stats -------------------------------------------------------------
+
+    def _load_stats(self) -> None:
+        try:
+            loaded = json.loads(self._stats_path.read_text())
+        except (OSError, ValueError):
+            return
+        if isinstance(loaded, dict):
+            for field_name in ("hits", "misses", "puts", "evictions"):
+                if isinstance(loaded.get(field_name), int):
+                    self._stats[field_name] = loaded[field_name]
+            if isinstance(loaded.get("stages"), dict):
+                self._stats["stages"] = loaded["stages"]
+
+    def _save_stats(self) -> None:
+        if self.cache_dir is None:
+            return
+        fd, tmp_name = tempfile.mkstemp(dir=self.cache_dir, suffix=".tmp")
+        with os.fdopen(fd, "w") as handle:
+            json.dump(self._stats, handle, indent=1)
+        os.replace(tmp_name, self._stats_path)
+
+    def _record(self, event: str, stage: str | None) -> None:
+        self._stats[event] += 1
+        if stage is not None:
+            per = self._stats["stages"].setdefault(
+                stage, {"hits": 0, "misses": 0, "puts": 0}
+            )
+            if event in per:
+                per[event] += 1
+        self._save_stats()
+
+    def stats(self) -> dict:
+        """Cumulative counters plus current disk occupancy."""
+        out = {
+            "hits": self._stats["hits"],
+            "misses": self._stats["misses"],
+            "puts": self._stats["puts"],
+            "evictions": self._stats["evictions"],
+            "stages": {k: dict(v) for k, v in self._stats["stages"].items()},
+            "memory_entries": len(self._memory),
+            "disk_entries": 0,
+            "disk_bytes": 0,
+        }
+        for _, size, _ in self._disk_listing():
+            out["disk_entries"] += 1
+            out["disk_bytes"] += size
+        return out
+
+    # -- core operations ---------------------------------------------------
+
+    def get(self, key: str, stage: str | None = None) -> Artifact | None:
+        """Look ``key`` up in memory, then on disk; ``None`` on miss."""
+        artifact = self._memory.get(key)
+        if artifact is not None:
+            self._memory.move_to_end(key)
+            self._record("hits", stage)
+            return artifact
+        if self.cache_dir is not None:
+            path = self._object_path(key)
+            if path.exists():
+                try:
+                    meta, arrays = read_archive(path)
+                except (ConfigurationError, OSError, ValueError):
+                    # A corrupt archive (interrupted disk, manual edit) is
+                    # treated as a miss and recomputed over.
+                    path.unlink(missing_ok=True)
+                else:
+                    os.utime(path)  # refresh the LRU clock
+                    artifact = Artifact(key=key, meta=meta, arrays=arrays)
+                    self._remember(artifact)
+                    self._record("hits", stage)
+                    return artifact
+        self._record("misses", stage)
+        return None
+
+    def put(
+        self,
+        key: str,
+        meta: dict,
+        arrays: dict[str, np.ndarray] | None = None,
+        stage: str | None = None,
+    ) -> Artifact:
+        """Store an artifact under ``key`` and return it."""
+        artifact = Artifact(key=key, meta=dict(meta), arrays=dict(arrays or {}))
+        self._remember(artifact)
+        if self.cache_dir is not None:
+            write_archive(self._object_path(key), artifact.meta, artifact.arrays)
+            self._evict()
+        self._record("puts", stage)
+        return artifact
+
+    def contains(self, key: str) -> bool:
+        """Presence check that does not touch the stats or the LRU clock."""
+        if key in self._memory:
+            return True
+        return (self.cache_dir is not None
+                and self._object_path(key).exists())
+
+    def clear(self) -> int:
+        """Drop every artifact (memory + disk); returns the number removed."""
+        keys = set(self._memory)
+        self._memory.clear()
+        self._memory_used = 0
+        if self.cache_dir is not None:
+            self._sweep_orphans()
+            for path, _, _ in self._disk_listing():
+                keys.add(path.stem)
+                path.unlink(missing_ok=True)
+        return len(keys)
+
+    # -- memory / disk bookkeeping ----------------------------------------
+
+    @staticmethod
+    def _artifact_bytes(artifact: Artifact) -> int:
+        return sum(a.nbytes for a in artifact.arrays.values())
+
+    def _remember(self, artifact: Artifact) -> None:
+        size = self._artifact_bytes(artifact)
+        if self.memory_entries == 0 or size > self.memory_bytes:
+            return  # oversized artifacts are served from disk only
+        old = self._memory.pop(artifact.key, None)
+        if old is not None:
+            self._memory_used -= self._artifact_bytes(old)
+        self._memory[artifact.key] = artifact
+        self._memory_used += size
+        while self._memory and (len(self._memory) > self.memory_entries
+                                or self._memory_used > self.memory_bytes):
+            _, evicted = self._memory.popitem(last=False)
+            self._memory_used -= self._artifact_bytes(evicted)
+
+    def _disk_listing(self) -> list[tuple[Path, int, float]]:
+        """``(path, bytes, mtime)`` for every on-disk artifact."""
+        if self.cache_dir is None:
+            return []
+        out = []
+        for path in self._objects_dir.glob("*.npz"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            out.append((path, stat.st_size, stat.st_mtime))
+        return out
+
+    def _evict(self) -> None:
+        if self.max_entries is None and self.max_bytes is None:
+            return
+        listing = sorted(self._disk_listing(), key=lambda item: item[2])
+        total_bytes = sum(size for _, size, _ in listing)
+        count = len(listing)
+        for path, size, _ in listing:
+            over_entries = (self.max_entries is not None
+                            and count > self.max_entries)
+            over_bytes = (self.max_bytes is not None
+                          and total_bytes > self.max_bytes)
+            if not (over_entries or over_bytes):
+                break
+            path.unlink(missing_ok=True)
+            dropped = self._memory.pop(path.stem, None)
+            if dropped is not None:
+                self._memory_used -= self._artifact_bytes(dropped)
+            count -= 1
+            total_bytes -= size
+            self._stats["evictions"] += 1
+        self._save_stats()

@@ -50,6 +50,69 @@ class TestPersistence:
         with pytest.raises(ConfigurationError):
             load_uhscm(tmp_path / "missing.npz", clip)
 
+    def test_conv_mode_roundtrip(self, clip, cifar_tiny, tmp_path):
+        """A conv-mode model must reload as a conv network (v1 silently
+        rebuilt it as a feature-mode net and fed it mismatched params)."""
+        config = UHSCMConfig(n_bits=8, train=TrainConfig(epochs=2), seed=0)
+        model = UHSCM(config, clip=clip, network_mode="conv",
+                      conv_profile="tiny")
+        model.fit(cifar_tiny.train_images[:40])
+        path = tmp_path / "conv.npz"
+        save_uhscm(model, path)
+        loaded = load_uhscm(path, clip)
+        assert loaded.network_mode == "conv"
+        assert loaded.conv_profile == "tiny"
+        assert loaded.network.mode == "conv"
+        np.testing.assert_array_equal(
+            model.encode(cifar_tiny.query_images),
+            loaded.encode(cifar_tiny.query_images),
+        )
+
+    def test_contrastive_mode_roundtrips(self, clip, cifar_tiny, tmp_path):
+        """A cib-trained model must not reload claiming the default mcl."""
+        config = UHSCMConfig(n_bits=8, train=TrainConfig(epochs=2), seed=0)
+        model = UHSCM(config, clip=clip, contrastive="cib")
+        model.fit(cifar_tiny.train_images)
+        path = tmp_path / "cib.npz"
+        save_uhscm(model, path)
+        loaded = load_uhscm(path, clip)
+        assert loaded.contrastive == "cib"
+        np.testing.assert_array_equal(
+            model.encode(cifar_tiny.query_images),
+            loaded.encode(cifar_tiny.query_images),
+        )
+
+    def test_injected_similarity_roundtrips_as_not_mined(
+        self, clip, cifar_tiny, tmp_path
+    ):
+        """An injected Q must not masquerade as 'mined zero concepts'."""
+        config = UHSCMConfig(n_bits=8, train=TrainConfig(epochs=2), seed=0)
+        model = UHSCM(config, clip=clip)
+        n = cifar_tiny.train_images.shape[0]
+        model.fit(cifar_tiny.train_images, similarity=np.eye(n))
+        assert model.concepts_mined is False
+        path = tmp_path / "injected.npz"
+        save_uhscm(model, path)
+        loaded = load_uhscm(path, clip)
+        assert loaded.concepts_mined is False
+        assert loaded.mined_concepts == ()
+
+    def test_mined_flag_roundtrips_for_real_fits(self, fitted_model, clip,
+                                                 tmp_path):
+        path = tmp_path / "mined.npz"
+        save_uhscm(fitted_model, path)
+        loaded = load_uhscm(path, clip)
+        assert loaded.concepts_mined is True
+        assert loaded.mined_concepts == fitted_model.mined_concepts
+
+    def test_old_format_rejected_with_clear_error(self, clip, tmp_path):
+        from repro.pipeline import write_archive
+
+        path = tmp_path / "old.npz"
+        write_archive(path, {"format_version": 1, "world_seed": 99}, {})
+        with pytest.raises(ConfigurationError, match="format"):
+            load_uhscm(path, clip)
+
 
 class TestPromptTuning:
     def test_improves_objective(self, clip, cifar_tiny):
