@@ -10,6 +10,8 @@ depends on:
   trainer) and its ablation variants.
 - :mod:`repro.baselines` — the nine unsupervised hashing baselines of Table 1.
 - :mod:`repro.retrieval` — Hamming retrieval engine and evaluation metrics.
+- :mod:`repro.serving` — the online serving layer: sharded indexes,
+  micro-batched encoding, and store-backed model/index snapshots.
 - :mod:`repro.analysis` — k-means, t-SNE, and cluster-separation analysis.
 - :mod:`repro.pipeline` — staged Algorithm-1 execution over a
   content-addressed artifact store (Q reuse, resumable experiment runs).

@@ -10,16 +10,31 @@ Subcommands::
     python -m repro.cli cache   stats              # artifact-store counters
     python -m repro.cli cache   clear
     python -m repro.cli export  --results benchmarks/results --out EXPERIMENTS.md
+    python -m repro.cli serve   --dataset cifar10 --model model.npz --queries 3
+    python -m repro.cli serve   --dataset cifar10 --model <fingerprint> --repl
     python -m repro.cli bench-retrieval --n 10000 --bits 64
     python -m repro.cli bench-train --n 512 --bits 64 --batch 128
+    python -m repro.cli bench-serve --n 10000 --bits 64 --shards 4
 
 ``eval`` accepts ``--backend`` to route retrieval through any registered
 serving backend (see :mod:`repro.retrieval.backend`); ``bench-retrieval``
 times every backend's build + batch-search path on random codes and checks
-them against each other; ``bench-train`` times ``UHSCMTrainer.fit`` steps
-for both contrastive modes (mcl/cib) under both dtype policies
-(float64/float32).  All commands run fully offline on the simulated
-substrate.
+them against each other (``--cache-size`` additionally reports each
+backend's query-result cache counters over a repeated pass);
+``bench-train`` times ``UHSCMTrainer.fit`` steps for both contrastive
+modes (mcl/cib) under both dtype policies (float64/float32);
+``bench-serve`` times the micro-batched vs unbatched single-query
+encode+search path of :class:`~repro.serving.HashingService`.  All
+commands run fully offline on the simulated substrate.
+
+``serve`` stands up the online serving facade over a dataset's database
+split: the model comes from a persistence archive (``--model model.npz``),
+a store fingerprint published with ``--publish``, or a fresh in-process
+training run; with ``--cache-dir`` the encoded database persists as a
+store snapshot, so a restarted ``serve`` warm-loads its index without
+re-encoding.  One-shot mode answers ``--queries N`` query-split rows and
+exits; ``--repl`` reads ``q <i> [k]`` / ``remove <id...>`` / ``stats`` /
+``quit`` from stdin.
 
 ``--cache-dir`` on ``train`` / ``table1`` / ``table2`` (or ``--resume``,
 which implies the default cache dir) attaches a content-addressed
@@ -130,9 +145,11 @@ def _cmd_bench_retrieval(args: argparse.Namespace) -> int:
     names = [args.backend] if args.backend else list(backend_names())
     reference = None
     print(f"retrieval bench: n={args.n} bits={args.bits} "
-          f"queries={args.queries} top_k={args.top_k}")
+          f"queries={args.queries} top_k={args.top_k} "
+          f"cache_size={args.cache_size}")
     for name in names:
-        index = make_backend(name, args.bits)
+        kwargs = {"cache_size": args.cache_size} if args.cache_size else {}
+        index = make_backend(name, args.bits, **kwargs)
         t0 = time.perf_counter()
         index.add(db)
         t_build = time.perf_counter() - t0
@@ -151,7 +168,167 @@ def _cmd_bench_retrieval(args: argparse.Namespace) -> int:
                 return 1
         print(f"  {name:<12} build {t_build * 1e3:8.1f} ms   "
               f"search {t_search * 1e3:8.1f} ms   agreement: {agree}")
+        if args.cache_size:
+            t0 = time.perf_counter()
+            index.search(queries, top_k=args.top_k)  # repeat pass: all hits
+            t_cached = time.perf_counter() - t0
+            cache = index.cache
+            print(f"  {'':<12} cached {t_cached * 1e3:8.1f} ms   "
+                  f"cache: {cache.hits} hits / {cache.misses} misses "
+                  f"(hit rate {cache.hit_rate:.0%})")
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.pipeline import dataset_key
+    from repro.serving import HashingService, load_model, publish_model
+
+    store = _make_store(args)
+    if args.publish and store is None:
+        print("--publish requires --cache-dir")
+        return 1
+    data = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    clip = SimCLIP(data.world)
+    if args.model is not None:
+        model = load_model(args.model, clip, store=store)
+        print(f"loaded model {args.model}")
+    else:
+        from dataclasses import replace
+
+        from repro.core.uhscm import UHSCM
+
+        config = paper_config(args.dataset, n_bits=args.bits, seed=args.seed)
+        if args.epochs is not None:
+            config = replace(config, train=replace(config.train,
+                                                   epochs=args.epochs))
+        model = UHSCM(config, clip=clip)
+        model.fit(data.train_images, store=store,
+                  data_key=dataset_key(args.dataset, args.scale, args.seed))
+        print(f"trained fresh UHSCM ({args.bits} bits) on {args.dataset}")
+    if args.publish:
+        print(f"published model snapshot: {publish_model(store, model)}")
+
+    service = HashingService(
+        model, store=store, n_shards=args.shards,
+        shard_backend=args.shard_backend, cache_size=args.cache_size,
+        max_batch=args.batch,
+    )
+    service.load_database(
+        data.database_images,
+        key=dataset_key(args.dataset, args.scale, args.seed,
+                        split="database"),
+    )
+    warm = service.stats()["database"]["warm_loads"]
+    print(f"index ready: {len(service)} rows in {args.shards} shard(s) "
+          f"({'warm snapshot load' if warm else 'cold encode'})")
+
+    def answer(rows: np.ndarray, top_k: int) -> None:
+        ids, dist = service.query(rows, top_k=top_k)
+        for qi in range(ids.shape[0]):
+            pairs = ", ".join(f"{i}@{d:.0f}" for i, d in zip(ids[qi], dist[qi]))
+            print(f"  hit(id@dist): {pairs}")
+
+    def print_stats() -> None:
+        stats = service.stats()
+        print(f"  size={stats['size']} shards={stats['shards']}")
+        batcher = stats["batcher"]
+        print(f"  batcher: {batcher['requests']} requests in "
+              f"{batcher['flushes']} flushes "
+              f"(sizes {batcher['flush_sizes']})")
+        for label, cache in stats["caches"].items():
+            print(f"  cache[{label}]: {cache['hits']} hits / "
+                  f"{cache['misses']} misses "
+                  f"(hit rate {cache['hit_rate']:.0%})")
+        for stage, counts in sorted(stats.get("store_stages", {}).items()):
+            print(f"  stage {stage}: {counts}")
+
+    if not args.repl:
+        n = min(args.queries, data.query_images.shape[0])
+        print(f"one-shot: answering {n} query-split rows (top_k={args.topk})")
+        if n:
+            answer(data.query_images[:n], args.topk)
+        print_stats()
+        return 0
+
+    print("serve REPL — commands: q <i> [k] | remove <id...> | stats | quit")
+    for line in sys.stdin:
+        parts = line.split()
+        if not parts:
+            continue
+        cmd = parts[0].lower()
+        try:
+            if cmd in ("quit", "exit"):
+                break
+            elif cmd == "q":
+                i = int(parts[1])
+                k = int(parts[2]) if len(parts) > 2 else args.topk
+                answer(data.query_images[i:i + 1], k)
+            elif cmd == "remove":
+                removed = service.remove([int(p) for p in parts[1:]])
+                print(f"  removed {removed} row(s); {len(service)} remain")
+            elif cmd == "stats":
+                print_stats()
+            else:
+                print(f"  unknown command {cmd!r}")
+        except Exception as exc:  # REPL: report, keep serving
+            print(f"  error: {exc}")
+    return 0
+
+
+def _cmd_bench_serve(args: argparse.Namespace) -> int:
+    import time
+
+    import numpy as np
+
+    from repro.core.hashing_network import HashingNetwork
+    from repro.retrieval import make_backend
+    from repro.serving import HashingService
+
+    rng = np.random.default_rng(args.seed)
+    db = rng.normal(size=(args.n, args.dim))
+    queries = rng.normal(size=(args.queries, args.dim))
+
+    def make_service(max_batch: int) -> HashingService:
+        network = HashingNetwork(
+            args.bits, mode="feature", feature_extractor=lambda x: x,
+            feature_dim=args.dim, rng=args.seed,
+        )
+        service = HashingService(network, n_shards=args.shards,
+                                 shard_backend=args.shard_backend,
+                                 max_batch=max_batch)
+        service.load_database(db)
+        return service
+
+    print(f"serving bench: n={args.n} dim={args.dim} bits={args.bits} "
+          f"queries={args.queries} top_k={args.top_k} shards={args.shards}")
+    unbatched = make_service(max_batch=1)
+    t0 = time.perf_counter()
+    parts = [unbatched.query(queries[qi], top_k=args.top_k)
+             for qi in range(args.queries)]
+    t_unbatched = time.perf_counter() - t0
+    ids_u = np.concatenate([p[0] for p in parts])
+
+    batched = make_service(max_batch=args.batch)
+    t0 = time.perf_counter()
+    ids_b, dist_b = batched.query(queries, top_k=args.top_k)
+    t_batched = time.perf_counter() - t0
+
+    reference = make_backend("multi-index", args.bits)
+    reference.add(batched.encoder.encode(db))
+    ids_r, dist_r = reference.search(batched.encoder.encode(queries),
+                                     top_k=args.top_k)
+    agree = (np.array_equal(ids_b, ids_r) and np.array_equal(dist_b, dist_r)
+             and np.array_equal(ids_u, ids_r))
+    flushes = batched.batcher.stats()["flush_sizes"]
+    print(f"  unbatched: {t_unbatched * 1e3:8.1f} ms  "
+          f"({args.queries / t_unbatched:8.0f} q/s)")
+    print(f"  batched  : {t_batched * 1e3:8.1f} ms  "
+          f"({args.queries / t_batched:8.0f} q/s)  flush sizes {flushes}")
+    print(f"  speedup  : {t_unbatched / t_batched:.1f}x   "
+          f"agreement vs multi-index: {'exact' if agree else 'MISMATCH'}")
+    return 0 if agree else 1
 
 
 def _cmd_bench_train(args: argparse.Namespace) -> int:
@@ -289,8 +466,61 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--top-k", type=int, default=10)
     p_bench.add_argument("--backend", default=None,
                          help="bench a single backend (default: all)")
+    p_bench.add_argument("--cache-size", type=int, default=0,
+                         help="per-backend query-result cache size; when "
+                              "positive a repeated search pass reports each "
+                              "backend's cache counters")
     p_bench.add_argument("--seed", type=int, default=0)
     p_bench.set_defaults(func=_cmd_bench_retrieval)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="stand up the online serving facade (one-shot or REPL)",
+    )
+    _add_common(p_serve)
+    _add_cache_dir(p_serve)
+    p_serve.add_argument("--model", default=None,
+                         help="model source: persistence archive path or "
+                              "store fingerprint (default: train fresh)")
+    p_serve.add_argument("--bits", type=int, default=64,
+                         help="code length when training fresh")
+    p_serve.add_argument("--epochs", type=int, default=None,
+                         help="epoch override when training fresh")
+    p_serve.add_argument("--publish", action="store_true",
+                         help="publish the model snapshot to the store and "
+                              "print its fingerprint (requires --cache-dir)")
+    p_serve.add_argument("--shards", type=int, default=4)
+    p_serve.add_argument("--shard-backend", default="bruteforce",
+                         help="backend each shard runs "
+                              "(bruteforce, multi-index)")
+    p_serve.add_argument("--cache-size", type=int, default=0,
+                         help="merged query-result cache entries")
+    p_serve.add_argument("--batch", type=int, default=256,
+                         help="encode micro-batch size")
+    p_serve.add_argument("--topk", type=int, default=5)
+    p_serve.add_argument("--queries", type=int, default=3,
+                         help="one-shot mode: answer this many query rows")
+    p_serve.add_argument("--repl", action="store_true",
+                         help="interactive driver on stdin")
+    p_serve.set_defaults(func=_cmd_serve)
+
+    p_bserve = sub.add_parser(
+        "bench-serve",
+        help="time micro-batched vs unbatched single-query encode+search",
+    )
+    p_bserve.add_argument("--n", type=int, default=10_000,
+                          help="database size")
+    p_bserve.add_argument("--dim", type=int, default=64,
+                          help="feature dimensionality")
+    p_bserve.add_argument("--bits", type=int, default=64)
+    p_bserve.add_argument("--queries", type=int, default=200)
+    p_bserve.add_argument("--top-k", type=int, default=10)
+    p_bserve.add_argument("--shards", type=int, default=4)
+    p_bserve.add_argument("--shard-backend", default="bruteforce")
+    p_bserve.add_argument("--batch", type=int, default=256,
+                          help="encode micro-batch size for the batched run")
+    p_bserve.add_argument("--seed", type=int, default=0)
+    p_bserve.set_defaults(func=_cmd_bench_serve)
 
     p_btrain = sub.add_parser(
         "bench-train",

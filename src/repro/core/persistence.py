@@ -38,11 +38,16 @@ _FORMAT_VERSION = 2
 _PARAM_PREFIX = "param/"
 
 
-def save_uhscm(model: UHSCM, path: str | Path) -> Path:
-    """Serialize a fitted UHSCM model to ``path`` (.npz archive)."""
+def model_payload(model: UHSCM) -> tuple[dict, dict[str, np.ndarray]]:
+    """The ``(meta, arrays)`` archive body describing a fitted UHSCM.
+
+    This is the single serialization seam: :func:`save_uhscm` writes it to a
+    file, and the serving layer (:func:`repro.serving.publish_model`) puts
+    it in an :class:`~repro.pipeline.ArtifactStore` under a content
+    fingerprint.  Both round-trip through :func:`restore_uhscm`.
+    """
     if model.network is None or model.similarity_ is None:
         raise NotFittedError("cannot save an unfitted UHSCM model")
-    path = Path(path)
     meta = {
         "format_version": _FORMAT_VERSION,
         "config": asdict(model.config),
@@ -59,22 +64,24 @@ def save_uhscm(model: UHSCM, path: str | Path) -> Path:
         "world_seed": model.clip.world.config.seed,
     }
     state = model.network.net.state_dict()
-    return write_archive(
-        path, meta, {f"{_PARAM_PREFIX}{k}": v for k, v in state.items()}
-    )
+    return meta, {f"{_PARAM_PREFIX}{k}": v for k, v in state.items()}
 
 
-def load_uhscm(path: str | Path, clip: SimCLIP) -> UHSCM:
-    """Reload a model saved by :func:`save_uhscm`.
+def save_uhscm(model: UHSCM, path: str | Path) -> Path:
+    """Serialize a fitted UHSCM model to ``path`` (.npz archive)."""
+    meta, arrays = model_payload(model)
+    return write_archive(Path(path), meta, arrays)
+
+
+def restore_uhscm(
+    meta: dict, arrays: dict[str, np.ndarray], clip: SimCLIP
+) -> UHSCM:
+    """Rebuild a fitted UHSCM from a :func:`model_payload` archive body.
 
     The caller supplies the :class:`SimCLIP` (it owns the world / feature
     extractor, which is configuration, not learned state).  The world seed is
     checked against the one recorded at save time.
     """
-    path = Path(path)
-    if not path.exists():
-        raise ConfigurationError(f"no such model file: {path}")
-    meta, arrays = read_archive(path)
     version = meta.get("format_version")
     if version != _FORMAT_VERSION:
         raise ConfigurationError(
@@ -144,3 +151,12 @@ def load_uhscm(path: str | Path, clip: SimCLIP) -> UHSCM:
         mined=bool(meta["concepts_mined"]),
     )
     return model
+
+
+def load_uhscm(path: str | Path, clip: SimCLIP) -> UHSCM:
+    """Reload a model saved by :func:`save_uhscm`."""
+    path = Path(path)
+    if not path.exists():
+        raise ConfigurationError(f"no such model file: {path}")
+    meta, arrays = read_archive(path)
+    return restore_uhscm(meta, arrays, clip)

@@ -1,16 +1,18 @@
 """Hamming retrieval engine and the paper's evaluation protocol (§4.2).
 
-The serving layer (:mod:`repro.retrieval.backend`) exposes every index
+The backend registry (:mod:`repro.retrieval.backend`) exposes every index
 through the :class:`RetrievalBackend` protocol: ``"bruteforce"`` is the
 bit-packed linear scan, ``"multi-index"`` the sublinear MIH structure, and
-both support incremental ``add()``/``remove()`` plus an optional LRU
-query-result cache.
+``"sharded"`` hash-partitions rows across any of the others.  All support
+incremental ``add()``/``remove()`` plus an optional LRU query-result
+cache, and all agree bit-for-bit.
 """
 
 from repro.retrieval.backend import (
     QueryResultCache,
     RetrievalBackend,
     backend_names,
+    backend_options,
     make_backend,
     register_backend,
 )
@@ -30,6 +32,7 @@ from repro.retrieval.hamming import (
     unpack_codes,
 )
 from repro.retrieval.multi_index import MultiIndexHammingIndex
+from repro.retrieval.sharded import ShardedIndex
 from repro.retrieval.metrics import (
     PAPER_MAP_DEPTH,
     PAPER_PN_POINTS,
@@ -53,8 +56,10 @@ __all__ = [
     "QueryResultCache",
     "RetrievalBackend",
     "RetrievalReport",
+    "ShardedIndex",
     "average_precision",
     "backend_names",
+    "backend_options",
     "evaluate_codes",
     "evaluate_hashing",
     "hamming_distance_matrix",

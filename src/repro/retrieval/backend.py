@@ -11,8 +11,10 @@ freely:
 - :func:`register_backend` / :func:`make_backend` — a tiny name registry.
   ``"bruteforce"`` is the bit-packed linear-scan
   :class:`~repro.retrieval.engine.HammingIndex`; ``"multi-index"`` is the
-  sublinear :class:`~repro.retrieval.multi_index.MultiIndexHammingIndex`.
-  The two are tested to agree bit-for-bit.
+  sublinear :class:`~repro.retrieval.multi_index.MultiIndexHammingIndex`;
+  ``"sharded"`` is the hash-partitioned
+  :class:`~repro.retrieval.sharded.ShardedIndex` composing any of the
+  others as its shard type.  All are tested to agree bit-for-bit.
 - :class:`QueryResultCache` — an optional bounded LRU keyed on the packed
   query bytes, for serving workloads with repeated queries.  Backends clear
   it on every mutation, so cached results never go stale.
@@ -25,6 +27,7 @@ concatenation of all ``add()`` calls.
 
 from __future__ import annotations
 
+import inspect
 from collections import OrderedDict
 from collections.abc import Hashable
 from typing import Callable, Protocol, runtime_checkable
@@ -90,6 +93,7 @@ def _ensure_builtin_backends() -> None:
     # lazily so `repro.retrieval.backend` has no import cycle with them.
     import repro.retrieval.engine  # noqa: F401
     import repro.retrieval.multi_index  # noqa: F401
+    import repro.retrieval.sharded  # noqa: F401
 
 
 def backend_names() -> tuple[str, ...]:
@@ -98,8 +102,8 @@ def backend_names() -> tuple[str, ...]:
     return tuple(sorted(_REGISTRY))
 
 
-def make_backend(name: str, n_bits: int, **kwargs) -> RetrievalBackend:
-    """Instantiate a registered backend by name."""
+def backend_options(name: str) -> tuple[str, ...]:
+    """Keyword options a registered backend's constructor accepts."""
     _ensure_builtin_backends()
     try:
         factory = _REGISTRY[name]
@@ -108,6 +112,33 @@ def make_backend(name: str, n_bits: int, **kwargs) -> RetrievalBackend:
             f"unknown retrieval backend {name!r}; "
             f"choose from {sorted(_REGISTRY)}"
         ) from None
+    parameters = list(inspect.signature(factory).parameters.values())
+    return tuple(
+        p.name
+        for p in parameters[1:]  # first parameter is n_bits, always given
+        if p.kind in (p.POSITIONAL_OR_KEYWORD, p.KEYWORD_ONLY)
+    )
+
+
+def make_backend(name: str, n_bits: int, **kwargs) -> RetrievalBackend:
+    """Instantiate a registered backend by name.
+
+    Unknown keyword arguments raise :class:`ConfigurationError` naming the
+    backend and its accepted options instead of escaping as a bare
+    ``TypeError`` from the constructor.
+    """
+    accepted = backend_options(name)  # raises on unknown backend names
+    factory = _REGISTRY[name]
+    unknown = sorted(set(kwargs) - set(accepted))
+    if unknown and not any(
+        p.kind == p.VAR_KEYWORD
+        for p in inspect.signature(factory).parameters.values()
+    ):
+        raise ConfigurationError(
+            f"backend {name!r} does not accept option(s) "
+            f"{', '.join(map(repr, unknown))}; accepted options: "
+            f"{', '.join(accepted) or '(none)'}"
+        )
     return factory(n_bits, **kwargs)
 
 
@@ -132,6 +163,12 @@ class QueryResultCache:
     def __len__(self) -> int:
         return len(self._data)
 
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 before any)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
     def get(self, key: Hashable):
         """Return the cached value (refreshing recency) or ``None``."""
         try:
@@ -151,3 +188,63 @@ class QueryResultCache:
 
     def clear(self) -> None:
         self._data.clear()
+
+
+def cached_topk(
+    cache: QueryResultCache,
+    packed_bits: np.ndarray,
+    top_k: int,
+    compute: Callable[[list[int]], tuple[np.ndarray, np.ndarray]],
+) -> tuple[np.ndarray, np.ndarray]:
+    """Shared miss/fill loop for cached batched top-k serving.
+
+    ``packed_bits`` is the per-query key material (one packed uint8 row per
+    query); ``compute(miss_positions)`` returns ``(ids, distances)`` for
+    just that subset of queries.  Cached entries are stored as copies so a
+    caller mutating its results never corrupts the cache.
+    """
+    n_queries = packed_bits.shape[0]
+    out_ids = np.empty((n_queries, top_k), dtype=np.int64)
+    out_dist = np.empty((n_queries, top_k), dtype=np.float64)
+    misses = []
+    for qi in range(n_queries):
+        hit = cache.get(("top_k", top_k, packed_bits[qi].tobytes()))
+        if hit is None:
+            misses.append(qi)
+        else:
+            out_ids[qi], out_dist[qi] = hit
+    if misses:
+        fresh_ids, fresh_dist = compute(misses)
+        for pos, qi in enumerate(misses):
+            out_ids[qi], out_dist[qi] = fresh_ids[pos], fresh_dist[pos]
+            cache.put(
+                ("top_k", top_k, packed_bits[qi].tobytes()),
+                (fresh_ids[pos].copy(), fresh_dist[pos].copy()),
+            )
+    return out_ids, out_dist
+
+
+def cached_radius(
+    cache: QueryResultCache,
+    packed_bits: np.ndarray,
+    radius: int,
+    compute: Callable[[list[int]], "list[np.ndarray]"],
+) -> "list[np.ndarray]":
+    """Shared miss/fill loop for cached batched radius serving.
+
+    Like :func:`cached_topk` but for per-query hit lists: the cache keeps
+    the canonical arrays and every caller receives copies.
+    """
+    results: list[np.ndarray | None] = [None] * packed_bits.shape[0]
+    misses = []
+    for qi in range(packed_bits.shape[0]):
+        hit = cache.get(("radius", radius, packed_bits[qi].tobytes()))
+        if hit is None:
+            misses.append(qi)
+        else:
+            results[qi] = hit.copy()
+    if misses:
+        for qi, hits in zip(misses, compute(misses)):
+            cache.put(("radius", radius, packed_bits[qi].tobytes()), hits)
+            results[qi] = hits.copy()
+    return results

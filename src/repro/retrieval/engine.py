@@ -29,6 +29,8 @@ from repro.errors import NotFittedError, ShapeError
 from repro.retrieval.backend import (
     QueryResultCache,
     RetrievalBackend,
+    cached_radius,
+    cached_topk,
     make_backend,
     register_backend,
 )
@@ -167,32 +169,36 @@ class HammingIndex:
 
         def compute(rows: PackedCodes) -> tuple[np.ndarray, np.ndarray]:
             distances = packed_hamming_distance(rows, packed_db)
-            idx = np.argsort(distances, axis=1, kind="stable")[:, :top_k]
+            # Fold the id tie-break into one collision-free composite key
+            # (distance major, id minor): selection can then use O(n)
+            # argpartition instead of a full sort and still return exactly
+            # the stable (distance, id) ranking.  int32 keys when they fit
+            # (the common case) halve the partition's memory traffic.
+            ctype = (np.int32
+                     if (self.n_bits + 1) * self._next_id < 2**31
+                     else np.int64)
+            composite = distances.astype(ctype)
+            composite *= ctype(self._next_id)
+            composite += self._ids.astype(ctype)[None, :]
+            if top_k < distances.shape[1]:
+                part = np.argpartition(composite, top_k - 1, axis=1)[:, :top_k]
+                order = np.argsort(
+                    np.take_along_axis(composite, part, axis=1), axis=1
+                )
+                idx = np.take_along_axis(part, order, axis=1)
+            else:
+                idx = np.argsort(composite, axis=1)
             dist = np.take_along_axis(distances, idx, axis=1).astype(np.float64)
             return self._ids[idx], dist
 
         if self._cache is None:
             return compute(packed_q)
-        out_ids = np.empty((len(packed_q), top_k), dtype=np.int64)
-        out_dist = np.empty((len(packed_q), top_k), dtype=np.float64)
-        misses = []
-        for qi, row in enumerate(packed_q.bits):
-            hit = self._cache.get(("top_k", top_k, row.tobytes()))
-            if hit is None:
-                misses.append(qi)
-            else:
-                out_ids[qi], out_dist[qi] = hit
-        if misses:
-            fresh_ids, fresh_dist = compute(
+        return cached_topk(
+            self._cache, packed_q.bits, top_k,
+            lambda misses: compute(
                 PackedCodes(bits=packed_q.bits[misses], n_bits=self.n_bits)
-            )
-            for pos, qi in enumerate(misses):
-                out_ids[qi], out_dist[qi] = fresh_ids[pos], fresh_dist[pos]
-                self._cache.put(
-                    ("top_k", top_k, packed_q.bits[qi].tobytes()),
-                    (fresh_ids[pos].copy(), fresh_dist[pos].copy()),
-                )
-        return out_ids, out_dist
+            ),
+        )
 
     def radius_search(self, query_codes: np.ndarray, radius: int) -> list[np.ndarray]:
         """Hash-lookup: ids of all alive rows within Hamming radius per query."""
@@ -200,29 +206,19 @@ class HammingIndex:
         if not 0 <= radius <= self.n_bits:
             raise ShapeError(f"radius must be in [0, {self.n_bits}], got {radius}")
         packed_q = self._pack(query_codes, "query_codes")
-        if self._cache is None:
-            distances = packed_hamming_distance(packed_q, packed_db)
+
+        def compute(rows: PackedCodes) -> list[np.ndarray]:
+            distances = packed_hamming_distance(rows, packed_db)
             return [self._ids[row <= radius] for row in distances]
-        results: list[np.ndarray | None] = [None] * len(packed_q)
-        misses = []
-        for qi, row in enumerate(packed_q.bits):
-            hit = self._cache.get(("radius", radius, row.tobytes()))
-            if hit is None:
-                misses.append(qi)
-            else:
-                results[qi] = hit.copy()
-        if misses:
-            distances = packed_hamming_distance(
-                PackedCodes(bits=packed_q.bits[misses], n_bits=self.n_bits),
-                packed_db,
-            )
-            for pos, qi in enumerate(misses):
-                hit = self._ids[distances[pos] <= radius]
-                self._cache.put(
-                    ("radius", radius, packed_q.bits[qi].tobytes()), hit
-                )
-                results[qi] = hit.copy()
-        return results
+
+        if self._cache is None:
+            return compute(packed_q)
+        return cached_radius(
+            self._cache, packed_q.bits, radius,
+            lambda misses: compute(
+                PackedCodes(bits=packed_q.bits[misses], n_bits=self.n_bits)
+            ),
+        )
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,243 @@
+"""Hash-partitioned retrieval backend: N child indexes behind one facade.
+
+:class:`ShardedIndex` registers as the ``"sharded"``
+:mod:`~repro.retrieval.backend` and composes any registered backend as its
+shard type.  Rows are partitioned by stable id (``id % n_shards``) so
+``add``/``remove`` route deterministically, ``search``/``radius_search``
+fan out across every shard, and per-shard top-k results merge with
+``(distance, id)`` tie-breaking — bit-identical to the same rows held in a
+single index, which is what lets the serving layer
+(:mod:`repro.serving`) scale the database out without changing a single
+result.
+
+Each child backend numbers its rows locally in its own insertion order; the
+facade keeps one append-only ``local -> global`` id array per shard (global
+ids are assigned monotonically, so each array stays sorted and the reverse
+``global -> local`` lookup is a binary search).  Children never renumber on
+``remove``, so the arrays are valid for the lifetime of the index.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError, NotFittedError, ShapeError
+from repro.retrieval.backend import (
+    QueryResultCache,
+    RetrievalBackend,
+    cached_radius,
+    cached_topk,
+    make_backend,
+    register_backend,
+)
+from repro.utils.validation import check_binary_codes
+
+_EMPTY_IDS = np.empty(0, dtype=np.int64)
+
+
+@register_backend("sharded")
+class ShardedIndex:
+    """Hash-partitioned Hamming index over ``n_shards`` child backends.
+
+    Parameters
+    ----------
+    n_bits:
+        Code length ``k``.
+    n_shards:
+        Number of partitions; rows route to shard ``id % n_shards``.
+    shard_backend:
+        Registered backend name used for every shard (``"bruteforce"``,
+        ``"multi-index"``, ... — anything except ``"sharded"`` itself).
+    cache_size:
+        If positive, keep an LRU :class:`QueryResultCache` of merged
+        per-query results at the facade level, cleared on every mutation.
+    shard_options:
+        Extra keyword arguments forwarded to every shard's constructor
+        (e.g. ``{"n_tables": 4}`` for multi-index shards).
+    """
+
+    def __init__(
+        self,
+        n_bits: int,
+        n_shards: int = 4,
+        shard_backend: str = "bruteforce",
+        cache_size: int = 0,
+        shard_options: dict | None = None,
+    ) -> None:
+        if n_bits <= 0:
+            raise ShapeError(f"n_bits must be positive: {n_bits}")
+        if n_shards <= 0:
+            raise ConfigurationError(f"n_shards must be positive: {n_shards}")
+        if shard_backend == "sharded":
+            raise ConfigurationError("sharded shards cannot nest")
+        self.n_bits = n_bits
+        self.n_shards = n_shards
+        self.shard_backend = shard_backend
+        self.shard_options = dict(shard_options or {})
+        self._shards: list[RetrievalBackend] = [
+            make_backend(shard_backend, n_bits, **self.shard_options)
+            for _ in range(n_shards)
+        ]
+        #: Per shard: global id of every row ever added, in the child's
+        #: insertion (= local id) order.  Sorted ascending by construction.
+        self._shard_gids: list[np.ndarray] = [
+            _EMPTY_IDS.copy() for _ in range(n_shards)
+        ]
+        self._next_id = 0
+        self._n_alive = 0
+        self._cache = QueryResultCache(cache_size) if cache_size else None
+
+    # -- mutation ---------------------------------------------------------------
+
+    def add(self, codes: np.ndarray) -> "ShardedIndex":
+        """Append ±1 codes; new rows get the next insertion-order ids."""
+        codes = self._check_codes(codes)
+        gids = np.arange(self._next_id, self._next_id + codes.shape[0],
+                         dtype=np.int64)
+        shard_of = gids % self.n_shards
+        for si in range(self.n_shards):
+            mask = shard_of == si
+            if not mask.any():
+                continue
+            self._shards[si].add(codes[mask])
+            self._shard_gids[si] = np.concatenate(
+                [self._shard_gids[si], gids[mask]]
+            )
+        self._next_id += codes.shape[0]
+        self._n_alive += codes.shape[0]
+        if self._cache is not None:
+            self._cache.clear()
+        return self
+
+    def remove(self, ids: np.ndarray) -> int:
+        """Remove rows by stable global id (unknown ids are ignored)."""
+        ids = np.atleast_1d(np.asarray(ids, dtype=np.int64))
+        ids = np.unique(ids[(ids >= 0) & (ids < self._next_id)])
+        removed = 0
+        for si in range(self.n_shards):
+            sel = ids[ids % self.n_shards == si]
+            if sel.size == 0:
+                continue
+            local = np.searchsorted(self._shard_gids[si], sel)
+            # Every in-range id routed here was added here, so the lookup
+            # always lands; the child ignores already-removed locals.
+            removed += self._shards[si].remove(local)
+        self._n_alive -= removed
+        if removed and self._cache is not None:
+            self._cache.clear()
+        return removed
+
+    # -- introspection ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._n_alive
+
+    @property
+    def cache(self) -> QueryResultCache | None:
+        """The merged-result cache, or ``None`` when caching is off."""
+        return self._cache
+
+    @property
+    def shard_sizes(self) -> tuple[int, ...]:
+        """Alive row count per shard."""
+        return tuple(len(shard) for shard in self._shards)
+
+    @property
+    def shards(self) -> tuple[RetrievalBackend, ...]:
+        """The child backends (read-only view; do not mutate directly)."""
+        return tuple(self._shards)
+
+    # -- validation -------------------------------------------------------------
+
+    def _check_codes(self, codes: np.ndarray, name: str = "codes") -> np.ndarray:
+        codes = check_binary_codes(codes, name)
+        if codes.shape[1] != self.n_bits:
+            raise ShapeError(
+                f"expected {self.n_bits}-bit {name}, got {codes.shape[1]}"
+            )
+        return codes
+
+    def _require_built(self) -> None:
+        if self._n_alive == 0:
+            raise NotFittedError("index is empty; call add() first")
+
+    # -- queries ----------------------------------------------------------------
+
+    def _fan_out_topk(
+        self, query_codes: np.ndarray, top_k: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Search every non-empty shard and merge by (distance, global id)."""
+        gid_blocks = []
+        dist_blocks = []
+        for si, shard in enumerate(self._shards):
+            n_rows = len(shard)
+            if n_rows == 0:
+                continue
+            local_ids, dist = shard.search(query_codes,
+                                           top_k=min(top_k, n_rows))
+            gid_blocks.append(self._shard_gids[si][local_ids])
+            dist_blocks.append(dist)
+        all_gids = np.concatenate(gid_blocks, axis=1)
+        all_dist = np.concatenate(dist_blocks, axis=1)
+        # One composite int key per candidate gives a row-wise lexsort by
+        # (distance, id): distances are integers in [0, n_bits] and ids are
+        # below _next_id, so the product never collides or overflows.
+        composite = (all_dist.astype(np.int64) * np.int64(self._next_id)
+                     + all_gids)
+        order = np.argsort(composite, axis=1, kind="stable")[:, :top_k]
+        return (
+            np.take_along_axis(all_gids, order, axis=1),
+            np.take_along_axis(all_dist, order, axis=1),
+        )
+
+    def search(
+        self, query_codes: np.ndarray, top_k: int = 10
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Exact merged top-k: (global ids, distances), ties by id."""
+        self._require_built()
+        if not 1 <= top_k <= self._n_alive:
+            raise ShapeError(
+                f"top_k must be in [1, {self._n_alive}], got {top_k}"
+            )
+        query_codes = self._check_codes(query_codes, "query_codes")
+        if self._cache is None:
+            return self._fan_out_topk(query_codes, top_k)
+        return cached_topk(
+            self._cache, np.packbits(query_codes > 0, axis=1), top_k,
+            lambda misses: self._fan_out_topk(query_codes[misses], top_k),
+        )
+
+    def _fan_out_radius(
+        self, query_codes: np.ndarray, radius: int
+    ) -> list[np.ndarray]:
+        per_query: list[list[np.ndarray]] = [
+            [] for _ in range(query_codes.shape[0])
+        ]
+        for si, shard in enumerate(self._shards):
+            if len(shard) == 0:
+                continue
+            for qi, local_hits in enumerate(
+                shard.radius_search(query_codes, radius)
+            ):
+                per_query[qi].append(self._shard_gids[si][local_hits])
+        return [
+            np.sort(np.concatenate(blocks)) if blocks else _EMPTY_IDS.copy()
+            for blocks in per_query
+        ]
+
+    def radius_search(
+        self, query_codes: np.ndarray, radius: int
+    ) -> list[np.ndarray]:
+        """All alive global ids within ``radius`` per query, sorted."""
+        self._require_built()
+        if not 0 <= radius <= self.n_bits:
+            raise ShapeError(
+                f"radius must be in [0, {self.n_bits}], got {radius}"
+            )
+        query_codes = self._check_codes(query_codes, "query_codes")
+        if self._cache is None:
+            return self._fan_out_radius(query_codes, radius)
+        return cached_radius(
+            self._cache, np.packbits(query_codes > 0, axis=1), radius,
+            lambda misses: self._fan_out_radius(query_codes[misses], radius),
+        )

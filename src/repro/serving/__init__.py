@@ -1,0 +1,41 @@
+"""Online serving layer: sharded indexes, micro-batched encoding, snapshots.
+
+This package turns the reproduction's pieces into a deployable service:
+
+- :class:`~repro.retrieval.sharded.ShardedIndex` — the ``"sharded"``
+  retrieval backend (it lives in :mod:`repro.retrieval` so the backend
+  registry never imports upward; re-exported here): rows hash-partitioned
+  across N child backends, merged top-k bit-identical to a single index.
+- :class:`~repro.serving.batcher.EncodeBatcher` — size/deadline
+  micro-batching of single-query encodes into one network forward.
+- :class:`~repro.serving.service.HashingService` — the facade: load a
+  model snapshot by fingerprint from the
+  :class:`~repro.pipeline.ArtifactStore` (or a persistence archive), build
+  or warm-load its index from a store snapshot, and serve
+  ``query``/``add``/``remove``/``stats``.
+
+CLI entry points: ``python -m repro.cli serve`` (one-shot or REPL) and
+``python -m repro.cli bench-serve``; the gated scale smoke is
+``benchmarks/bench_serving_scale.py``.
+"""
+
+from repro.retrieval.sharded import ShardedIndex
+from repro.serving.batcher import EncodeBatcher, EncodeTicket
+from repro.serving.service import (
+    INDEX_STAGE,
+    MODEL_STAGE,
+    HashingService,
+    load_model,
+    publish_model,
+)
+
+__all__ = [
+    "EncodeBatcher",
+    "EncodeTicket",
+    "HashingService",
+    "INDEX_STAGE",
+    "MODEL_STAGE",
+    "ShardedIndex",
+    "load_model",
+    "publish_model",
+]

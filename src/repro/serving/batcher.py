@@ -1,0 +1,164 @@
+"""Micro-batching queue for single-query encode requests.
+
+Online serving receives queries one at a time, but the hashing network is
+dramatically cheaper per row when it runs one forward over many rows (PR 2's
+vectorized engine).  :class:`EncodeBatcher` bridges the two: ``submit()``
+enqueues one vector and returns an :class:`EncodeTicket`; the queue flushes
+into a single network forward when it reaches ``max_batch`` rows (size
+trigger) or when the oldest pending request has waited ``max_delay_s``
+seconds (deadline trigger, checked on every submit/poll).  Resolving a
+ticket whose batch has not flushed yet forces the flush, so callers can
+never deadlock on their own result.
+
+The batcher follows the encoder's dtype policy: pending rows are stacked
+directly in the network's training dtype (``float32`` engines never pay a
+float64 round trip on the hot path).
+
+Everything is synchronous and single-threaded — deliberate for this CPU
+reproduction: the batcher is the coalescing *policy*, and an async front
+end would own the event loop around it.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ShapeError
+
+
+class EncodeTicket:
+    """Handle to one submitted query; resolves when its batch flushes."""
+
+    __slots__ = ("_batcher", "_code")
+
+    def __init__(self, batcher: "EncodeBatcher") -> None:
+        self._batcher = batcher
+        self._code: np.ndarray | None = None
+
+    @property
+    def ready(self) -> bool:
+        """Whether the batch holding this request has already flushed."""
+        return self._code is not None
+
+    def result(self) -> np.ndarray:
+        """The ±1 code row, flushing the owning batcher if still pending."""
+        if self._code is None:
+            self._batcher.flush()
+        assert self._code is not None
+        return self._code
+
+
+class EncodeBatcher:
+    """Coalesce single-vector encode requests into batched forwards.
+
+    Parameters
+    ----------
+    encoder:
+        Anything with an ``encode(matrix) -> codes`` method (a
+        :class:`~repro.core.hashing_network.HashingNetwork`, a fitted
+        UHSCM, any baseline) or a bare callable with that signature.
+    max_batch:
+        Size trigger: flush as soon as this many requests are pending.
+    max_delay_s:
+        Deadline trigger: flush when the oldest pending request has waited
+        this long (checked on every ``submit``/``poll``).
+    clock:
+        Monotonic time source, injectable for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        encoder,
+        max_batch: int = 256,
+        max_delay_s: float = 0.002,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_batch <= 0:
+            raise ConfigurationError(f"max_batch must be positive: {max_batch}")
+        if max_delay_s < 0:
+            raise ConfigurationError(
+                f"max_delay_s must be >= 0: {max_delay_s}"
+            )
+        self._encode = encoder.encode if hasattr(encoder, "encode") else encoder
+        #: Stack pending rows straight into the engine's training dtype.
+        self._dtype = np.dtype(getattr(encoder, "dtype", np.float64))
+        self.max_batch = max_batch
+        self.max_delay_s = max_delay_s
+        self._clock = clock
+        self._pending: list[tuple[np.ndarray, EncodeTicket]] = []
+        self._oldest: float | None = None
+        self.requests = 0
+        self.flushes = 0
+        self.deadline_flushes = 0
+        self.flush_sizes: Counter[int] = Counter()
+
+    # -- queue ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def submit(self, vector: np.ndarray) -> EncodeTicket:
+        """Enqueue one query vector; may trigger a size or deadline flush."""
+        vector = np.asarray(vector, dtype=self._dtype)
+        if vector.ndim == 0:
+            raise ShapeError("submit takes one query item, got a scalar")
+        if self._pending and vector.shape != self._pending[0][0].shape:
+            # Reject shape mismatches at submit time: one bad request must
+            # not poison the whole batch for every other pending caller.
+            raise ShapeError(
+                f"query item shape {vector.shape} does not match the "
+                f"pending batch's {self._pending[0][0].shape}"
+            )
+        self.poll()  # deadline may have passed since the last activity
+        ticket = EncodeTicket(self)
+        if not self._pending:
+            self._oldest = self._clock()
+        self._pending.append((vector, ticket))
+        self.requests += 1
+        if len(self._pending) >= self.max_batch:
+            self.flush()
+        return ticket
+
+    def poll(self) -> bool:
+        """Flush if the oldest pending request has exceeded the deadline."""
+        if (self._pending and self._oldest is not None
+                and self._clock() - self._oldest >= self.max_delay_s):
+            self.deadline_flushes += 1
+            self.flush()
+            return True
+        return False
+
+    def flush(self) -> int:
+        """Encode every pending request in one forward; returns batch size."""
+        if not self._pending:
+            return 0
+        pending, self._pending = self._pending, []
+        self._oldest = None
+        batch = np.stack([vector for vector, _ in pending])
+        codes = self._encode(batch)
+        for row, (_, ticket) in enumerate(pending):
+            ticket._code = codes[row]
+        self.flushes += 1
+        self.flush_sizes[len(pending)] += 1
+        return len(pending)
+
+    # -- reporting --------------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Counters for ``HashingService.stats()`` / the serve CLI."""
+        return {
+            "requests": self.requests,
+            "flushes": self.flushes,
+            "deadline_flushes": self.deadline_flushes,
+            "pending": len(self._pending),
+            "max_batch": self.max_batch,
+            "max_delay_s": self.max_delay_s,
+            "flush_sizes": {
+                int(size): int(count)
+                for size, count in sorted(self.flush_sizes.items())
+            },
+        }

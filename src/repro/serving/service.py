@@ -1,0 +1,401 @@
+"""The online serving facade: snapshot-loaded models behind a sharded index.
+
+:class:`HashingService` composes the three layers the previous PRs built in
+isolation into one request/response surface:
+
+- **model** — any encoder with ``encode()`` (a fitted UHSCM, a bare
+  :class:`~repro.core.hashing_network.HashingNetwork`, a baseline).
+  :func:`publish_model` snapshots a fitted UHSCM into the
+  :class:`~repro.pipeline.ArtifactStore` under a content fingerprint and
+  :func:`load_model` restores it — by fingerprint from the store, falling
+  back to a :mod:`repro.core.persistence` archive on disk.
+- **encoding** — single-query requests coalesce through an
+  :class:`~repro.serving.batcher.EncodeBatcher` into batched network
+  forwards.
+- **index** — a registered retrieval backend (default ``"sharded"``),
+  warm-loadable: the encoded database persists as a store artifact (packed
+  code bits under the ``serve_index`` stage), so a restarted service
+  rebuilds its index without re-encoding a single database row.  The
+  store's per-stage hit/miss counters are the audit trail — a warm restart
+  shows up as a ``serve_index`` hit and zero new encodes.
+
+External ids: callers may attach their own int64 ids to added rows;
+``query``/``remove`` speak external ids throughout, mapped over the
+index's stable internal insertion-order ids.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ShapeError
+from repro.pipeline import (
+    CODE_FORMAT_VERSION,
+    ArtifactStore,
+    Stage,
+    array_fingerprint,
+    canonical,
+    fingerprint,
+    run_stage,
+)
+from repro.retrieval.backend import make_backend
+from repro.retrieval.hamming import PackedCodes, unpack_codes
+from repro.serving.batcher import EncodeBatcher
+
+#: Store stage names owned by the serving layer.
+MODEL_STAGE = "serve_model"
+INDEX_STAGE = "serve_index"
+
+_HEX_DIGITS = set("0123456789abcdef")
+
+
+def _looks_like_fingerprint(source: str) -> bool:
+    return len(source) == 64 and set(source) <= _HEX_DIGITS
+
+
+def publish_model(store: ArtifactStore, model) -> str:
+    """Snapshot a fitted UHSCM into the store; returns its fingerprint.
+
+    The key is content-addressed (config + construction metadata + a hash
+    of every trained parameter), so republishing an identical model is a
+    no-op overwrite at the same address.
+    """
+    from repro.core.persistence import model_payload
+
+    meta, arrays = model_payload(model)
+    key = fingerprint(
+        {
+            "kind": "uhscm-model",
+            "format": CODE_FORMAT_VERSION,
+            "meta": canonical(meta),
+            "params": {
+                name: array_fingerprint(array)
+                for name, array in sorted(arrays.items())
+            },
+        }
+    )
+    store.put(key, meta, arrays, stage=MODEL_STAGE)
+    return key
+
+
+def load_model(source: str | Path, clip, store: ArtifactStore | None = None):
+    """Load a serving model from a store fingerprint or an archive path.
+
+    A 64-hex-digit ``source`` is treated as a :func:`publish_model`
+    fingerprint and resolved against ``store`` first; anything else (or a
+    fingerprint missing from the store) falls back to a
+    :func:`repro.core.persistence.load_uhscm` archive on disk.
+    """
+    from repro.core.persistence import load_uhscm, restore_uhscm
+
+    source = str(source)
+    if store is not None and _looks_like_fingerprint(source):
+        artifact = store.get(source, stage=MODEL_STAGE)
+        if artifact is not None:
+            if "format_version" not in artifact.meta:
+                # e.g. a serve_index or pipeline fingerprint pasted by
+                # mistake — say so instead of failing deep in restore.
+                raise ConfigurationError(
+                    f"store artifact {source} is not a model snapshot "
+                    f"(publish one with publish_model / serve --publish)"
+                )
+            return restore_uhscm(artifact.meta, artifact.arrays, clip)
+    path = Path(source)
+    if path.exists():
+        return load_uhscm(path, clip)
+    raise ConfigurationError(
+        f"model source {source!r} is neither a store fingerprint nor an "
+        f"archive path"
+    )
+
+
+class HashingService:
+    """Online encode + top-k Hamming lookup over one fitted model.
+
+    Parameters
+    ----------
+    encoder:
+        Object with ``encode(items) -> ±1 codes`` (and ideally ``n_bits``);
+        pass ``n_bits=`` explicitly for bare callables.
+    store:
+        Optional :class:`~repro.pipeline.ArtifactStore` enabling index
+        snapshots (and recording serve-stage counters).
+    backend / backend_options:
+        Registered index backend name plus its constructor options.  The
+        default is a ``"sharded"`` index; ``n_shards`` / ``shard_backend``
+        / ``cache_size`` are conveniences folded into the options.
+    max_batch / max_delay_s / clock:
+        :class:`EncodeBatcher` triggers.
+    model_key:
+        Provenance fingerprint of the encoder used to address index
+        snapshots; derived from the trained parameters when omitted.
+    """
+
+    def __init__(
+        self,
+        encoder,
+        *,
+        store: ArtifactStore | None = None,
+        backend: str = "sharded",
+        n_shards: int = 4,
+        shard_backend: str = "bruteforce",
+        cache_size: int = 0,
+        backend_options: dict | None = None,
+        max_batch: int = 256,
+        max_delay_s: float = 0.002,
+        clock: Callable[[], float] = time.monotonic,
+        model_key: str | None = None,
+        n_bits: int | None = None,
+    ) -> None:
+        self.encoder = encoder
+        self._encode = encoder.encode if hasattr(encoder, "encode") else encoder
+        self.n_bits = n_bits if n_bits is not None else _encoder_bits(encoder)
+        self.store = store
+        self.backend_name = backend
+        self.model_key = (model_key if model_key is not None
+                          else _encoder_fingerprint(encoder, self.n_bits))
+        options = dict(backend_options or {})
+        if backend == "sharded":
+            options.setdefault("n_shards", n_shards)
+            options.setdefault("shard_backend", shard_backend)
+        if cache_size:
+            options.setdefault("cache_size", cache_size)
+        self.index = make_backend(backend, self.n_bits, **options)
+        self.batcher = EncodeBatcher(
+            encoder, max_batch=max_batch, max_delay_s=max_delay_s, clock=clock
+        )
+        #: External id of every internal (insertion-order) id ever assigned.
+        self._ext_ids = np.empty(0, dtype=np.int64)
+        #: external -> internal for the alive rows.
+        self._int_by_ext: dict[int, int] = {}
+        self._db_encodes = 0
+        self._warm_loads = 0
+
+    @classmethod
+    def from_snapshot(
+        cls,
+        store: ArtifactStore,
+        model_fingerprint: str,
+        clip,
+        **kwargs,
+    ) -> "HashingService":
+        """Build a service around a model published with :func:`publish_model`."""
+        model = load_model(model_fingerprint, clip, store=store)
+        kwargs.setdefault("model_key", model_fingerprint)
+        return cls(model, store=store, **kwargs)
+
+    # -- database ---------------------------------------------------------------
+
+    def load_database(
+        self, vectors: np.ndarray, key: dict | None = None
+    ) -> np.ndarray:
+        """Encode + index a database, snapshotting the codes in the store.
+
+        ``key`` is a small JSON-able provenance payload identifying the
+        database rows (e.g. :func:`repro.pipeline.dataset_key`); without
+        one the raw vectors are content-hashed instead.  With a store and a
+        model fingerprint the encoded codes persist under the
+        ``serve_index`` stage, so the next service pointed at the same
+        (model, database) pair warm-loads its index with zero re-encodes.
+        Returns the external ids assigned to the database rows.
+        """
+        vectors = np.asarray(vectors, dtype=np.float64)
+        # The key is trusted provenance (like dataset_key): it must change
+        # whenever the database content changes.  The shape is folded in as
+        # a cheap sanity net so a same-key catalog that grew or shrank can
+        # never silently serve the old snapshot.
+        db_fp = (fingerprint({"kind": "db", "key": canonical(key),
+                              "shape": list(vectors.shape)})
+                 if key is not None else array_fingerprint(vectors))
+        stage = Stage(
+            INDEX_STAGE,
+            params={"n_bits": self.n_bits, "db": db_fp},
+            inputs=(self.model_key,) if self.model_key is not None else (),
+        )
+
+        def build() -> tuple[dict, dict[str, np.ndarray]]:
+            self._db_encodes += 1
+            codes = self._encode(vectors)
+            return (
+                {"n_bits": self.n_bits, "rows": int(codes.shape[0])},
+                {"bits": np.packbits(codes > 0, axis=1)},
+            )
+
+        encodes_before = self._db_encodes
+        staged = self.store is not None and self.model_key is not None
+        artifact = run_stage(self.store if staged else None, stage, build)
+        if self._db_encodes == encodes_before:
+            self._warm_loads += 1
+        codes = unpack_codes(
+            PackedCodes(bits=artifact.arrays["bits"], n_bits=self.n_bits)
+        )
+        return self._register(codes, ids=None)
+
+    # -- mutation ---------------------------------------------------------------
+
+    def add(self, vectors: np.ndarray, ids: np.ndarray | None = None) -> np.ndarray:
+        """Encode and index new rows; returns their external ids.
+
+        ``ids`` optionally assigns caller-owned int64 ids (must be unique
+        and not collide with any alive row); by default rows get the
+        index's insertion-order ids.
+        """
+        codes = self._encode(np.asarray(vectors, dtype=np.float64))
+        return self._register(codes, ids)
+
+    def _register(self, codes: np.ndarray, ids: np.ndarray | None) -> np.ndarray:
+        n_new = codes.shape[0]
+        internal = np.arange(self._ext_ids.size, self._ext_ids.size + n_new,
+                             dtype=np.int64)
+        if ids is None:
+            external = internal
+            collisions = [e for e in external.tolist()
+                          if e in self._int_by_ext]
+            if collisions:
+                raise ConfigurationError(
+                    f"auto-assigned id(s) {collisions[:5]} collide with "
+                    f"caller-assigned external ids; pass explicit ids= to "
+                    f"this add()"
+                )
+        else:
+            external = np.atleast_1d(np.asarray(ids, dtype=np.int64))
+            if external.shape != (n_new,):
+                raise ShapeError(
+                    f"got {external.size} ids for {n_new} rows"
+                )
+            if np.unique(external).size != n_new:
+                raise ConfigurationError("external ids must be unique")
+            collisions = [e for e in external.tolist() if e in self._int_by_ext]
+            if collisions:
+                raise ConfigurationError(
+                    f"external id(s) already in use: {collisions[:5]}"
+                )
+        self.index.add(codes)
+        self._ext_ids = np.concatenate([self._ext_ids, external])
+        self._int_by_ext.update(
+            zip(external.tolist(), internal.tolist())
+        )
+        return external.copy()
+
+    def remove(self, ids: np.ndarray) -> int:
+        """Remove rows by external id (unknown ids are ignored)."""
+        ids = np.atleast_1d(np.asarray(ids, dtype=np.int64))
+        known = [e for e in dict.fromkeys(ids.tolist())
+                 if e in self._int_by_ext]
+        if not known:
+            return 0
+        internal = np.array([self._int_by_ext[e] for e in known],
+                            dtype=np.int64)
+        removed = self.index.remove(internal)
+        for e in known:
+            del self._int_by_ext[e]
+        return removed
+
+    # -- queries ----------------------------------------------------------------
+
+    def query(
+        self, vectors: np.ndarray, top_k: int = 10
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Encode queries through the micro-batcher and search the index.
+
+        ``vectors`` is one query item (1-D) or a batch (first axis = items);
+        every row rides the batcher, so a burst of requests coalesces into
+        ``ceil(n / max_batch)`` network forwards and one fan-out search.
+        Returns ``(external_ids, distances)``, both ``(n, top_k)``.
+        """
+        vectors = np.asarray(vectors)  # the batcher casts per dtype policy
+        if vectors.ndim == 1:
+            vectors = vectors[None, :]
+        if vectors.shape[0] == 0:
+            raise ShapeError("query needs at least one vector")
+        tickets = [self.batcher.submit(row) for row in vectors]
+        self.batcher.flush()  # resolve the tail below max_batch
+        codes = np.stack([ticket.result() for ticket in tickets])
+        internal, distances = self.index.search(codes, top_k=top_k)
+        return self._ext_ids[internal], distances
+
+    def __len__(self) -> int:
+        return len(self.index)
+
+    # -- reporting --------------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Serving counters: shard sizes, batcher histogram, cache rates."""
+        out: dict = {
+            "backend": self.backend_name,
+            "n_bits": self.n_bits,
+            "size": len(self.index),
+            "shards": list(
+                getattr(self.index, "shard_sizes", (len(self.index),))
+            ),
+            "batcher": self.batcher.stats(),
+            "database": {
+                "encodes": self._db_encodes,
+                "warm_loads": self._warm_loads,
+            },
+            "caches": {},
+        }
+        cache = getattr(self.index, "cache", None)
+        if cache is not None:
+            out["caches"]["index"] = {
+                "hits": cache.hits,
+                "misses": cache.misses,
+                "hit_rate": cache.hit_rate,
+            }
+        for si, shard in enumerate(getattr(self.index, "shards", ())):
+            shard_cache = getattr(shard, "cache", None)
+            if shard_cache is not None:
+                out["caches"][f"shard{si}"] = {
+                    "hits": shard_cache.hits,
+                    "misses": shard_cache.misses,
+                    "hit_rate": shard_cache.hit_rate,
+                }
+        if self.store is not None:
+            stages = self.store.stats()["stages"]
+            out["store_stages"] = {
+                name: dict(stages[name])
+                for name in (MODEL_STAGE, INDEX_STAGE)
+                if name in stages
+            }
+        return out
+
+
+def _encoder_bits(encoder) -> int:
+    """Code length of an encoder (UHSCM, HashingNetwork, or baseline)."""
+    n_bits = getattr(encoder, "n_bits", None)
+    if n_bits is None:
+        config = getattr(encoder, "config", None)
+        n_bits = getattr(config, "n_bits", None)
+    if n_bits is None:
+        raise ConfigurationError(
+            "cannot infer n_bits from the encoder; pass n_bits= explicitly"
+        )
+    return int(n_bits)
+
+
+def _encoder_fingerprint(encoder, n_bits: int) -> str | None:
+    """Content fingerprint of an encoder's trained parameters, best effort.
+
+    ``None`` (for encoders without an inspectable state dict) disables
+    index snapshots rather than risking a stale-address collision.
+    """
+    net = getattr(encoder, "network", encoder)
+    inner = getattr(net, "net", None)
+    if inner is None or not hasattr(inner, "state_dict"):
+        return None
+    state = inner.state_dict()
+    return fingerprint(
+        {
+            "kind": "encoder-state",
+            "format": CODE_FORMAT_VERSION,
+            "n_bits": n_bits,
+            "params": {
+                name: array_fingerprint(array)
+                for name, array in sorted(state.items())
+            },
+        }
+    )

@@ -15,12 +15,21 @@ from repro.retrieval import (
     make_backend,
 )
 
-BACKENDS = ("bruteforce", "multi-index")
+#: Every registered backend, including the serving layer's "sharded".
+BACKENDS = backend_names()
 
 
 def random_codes(n, k, seed=0):
     rng = np.random.default_rng(seed)
     return np.where(rng.random((n, k)) < 0.5, -1.0, 1.0)
+
+
+def distinct_codes(n, k, seed=0):
+    """±1 codes with pairwise-distinct rows (distinct k-bit integers)."""
+    rng = np.random.default_rng(seed)
+    values = rng.choice(1 << k, size=n, replace=False)
+    bits = (values[:, None] >> np.arange(k)[None, :]) & 1
+    return np.where(bits.astype(bool), 1.0, -1.0)
 
 
 class TestRegistry:
@@ -41,6 +50,27 @@ class TestRegistry:
         index = make_backend("multi-index", 16, n_tables=2, cache_size=8)
         assert index.n_tables == 2
         assert index.cache is not None
+
+    def test_sharded_registered(self):
+        from repro.serving import ShardedIndex
+
+        index = make_backend("sharded", 16, n_shards=3,
+                             shard_backend="multi-index",
+                             shard_options={"n_tables": 2})
+        assert isinstance(index, ShardedIndex)
+        assert index.n_shards == 3
+        assert all(shard.n_tables == 2 for shard in index.shards)
+
+    @pytest.mark.parametrize("name", BACKENDS)
+    def test_unknown_kwargs_raise_configuration_error(self, name):
+        # Unexpected constructor options must not escape as bare TypeError;
+        # the error names the backend and its accepted options.
+        with pytest.raises(ConfigurationError) as excinfo:
+            make_backend(name, 16, bogus_option=3)
+        message = str(excinfo.value)
+        assert name in message
+        assert "bogus_option" in message
+        assert "cache_size" in message  # every backend accepts it
 
     @pytest.mark.parametrize("name", BACKENDS)
     def test_satisfies_protocol(self, name):
@@ -109,6 +139,40 @@ class TestRemove:
         assert index.remove([0, 1, 2]) == 3
         with pytest.raises(NotFittedError):
             index.search(random_codes(1, 8), top_k=1)
+
+    @pytest.mark.parametrize("name", BACKENDS)
+    def test_remove_then_add_id_stability(self, name):
+        """Rows added after a removal get fresh ids; dead ids never return."""
+        k = 16
+        pool = distinct_codes(40, k, seed=40)  # pairwise-distinct rows
+        first, second = pool[:30], pool[30:]
+        index = make_backend(name, k).add(first)
+        assert index.remove(np.arange(10)) == 10
+        index.add(second)
+        assert len(index) == 30
+        # each new row matches itself at distance 0 under a post-removal id
+        ids, dist = index.search(second, top_k=1)
+        assert (dist.ravel() == 0).all()
+        assert (ids.ravel() >= 30).all()
+        np.testing.assert_array_equal(ids.ravel(), np.arange(30, 40))
+        # surviving old rows keep their original ids
+        ids, dist = index.search(first[10:], top_k=1)
+        assert (dist.ravel() == 0).all()
+        np.testing.assert_array_equal(ids.ravel(), np.arange(10, 30))
+        # removed ids never resurface in a full ranking
+        all_ids, _ = index.search(second[:3], top_k=30)
+        assert not set(all_ids.ravel()) & set(range(10))
+
+    @pytest.mark.parametrize("name", BACKENDS)
+    def test_readding_removed_content_gets_fresh_ids(self, name):
+        k = 16
+        codes = distinct_codes(12, k, seed=42)
+        index = make_backend(name, k).add(codes)
+        assert index.remove([3, 4]) == 2
+        index.add(codes[3:5])  # identical content, new rows
+        ids, dist = index.search(codes[3:5], top_k=1)
+        assert (dist.ravel() == 0).all()
+        np.testing.assert_array_equal(ids.ravel(), [12, 13])
 
     def test_mih_vacuum_preserves_results(self):
         db = random_codes(80, 16, seed=7)
