@@ -3,14 +3,17 @@
 Each benchmark regenerates one of the paper's tables/figures and writes the
 rendered output to ``benchmarks/results/`` so the reproduced numbers survive
 the run (pytest captures stdout).  The scale benchmarks
-(``bench_retrieval_scale.py``, ``bench_train_scale.py``) share
+(``bench_retrieval_scale.py``, ``bench_train_scale.py``, …) share
 :func:`timed` / :func:`assert_speedup` so every speedup gate measures and
-reports the same way.
+reports the same way, and :func:`measure_peak_memory` so every memory gate
+profiles the same way (tracemalloc tracks numpy buffers, so the peak
+covers the arrays a build actually materializes).
 """
 
 from __future__ import annotations
 
 import time
+import tracemalloc
 from collections.abc import Callable, Iterable
 from pathlib import Path
 
@@ -51,6 +54,24 @@ def timed(fn: Callable[[], object], repeats: int = 1) -> tuple[float, object]:
         if dt < best_dt:
             best_dt, best_out = dt, out
     return best_dt, best_out
+
+
+def measure_peak_memory(fn: Callable[[], object]) -> tuple[int, object]:
+    """Peak traced allocation (bytes) during ``fn()``; returns ``(peak, result)``.
+
+    Uses :mod:`tracemalloc`, which numpy registers its buffer allocations
+    with, so the peak reflects the arrays the measured code materializes —
+    the quantity the similarity-scale gate bounds.  Tracing adds per-
+    allocation overhead; time the same callable separately (see
+    :func:`timed`) rather than reusing a traced run's wall clock.
+    """
+    tracemalloc.start()
+    try:
+        result = fn()
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return peak, result
 
 
 def assert_speedup(

@@ -55,9 +55,12 @@ __all__ = [
     "ArtifactStore",
     "ConfigurationError",
     "ConvergenceError",
+    "DenseSimilarity",
     "NotFittedError",
     "ReproError",
     "ShapeError",
+    "SimilarityMatrix",
+    "SparseTopKSimilarity",
     "TrainConfig",
     "UHSCM",
     "UHSCMConfig",
@@ -73,4 +76,8 @@ def __getattr__(name: str):
         from repro.core.uhscm import UHSCM
 
         return UHSCM
+    if name in ("SimilarityMatrix", "DenseSimilarity", "SparseTopKSimilarity"):
+        from repro.core import similarity_matrix
+
+        return getattr(similarity_matrix, name)
     raise AttributeError(f"module 'repro' has no attribute {name!r}")

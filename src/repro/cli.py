@@ -15,6 +15,7 @@ Subcommands::
     python -m repro.cli bench-retrieval --n 10000 --bits 64
     python -m repro.cli bench-train --n 512 --bits 64 --batch 128
     python -m repro.cli bench-serve --n 10000 --bits 64 --shards 4
+    python -m repro.cli bench-similarity --n 6000 --dim 256 --topk 128
 
 ``eval`` accepts ``--backend`` to route retrieval through any registered
 serving backend (see :mod:`repro.retrieval.backend`); ``bench-retrieval``
@@ -24,8 +25,15 @@ backend's query-result cache counters over a repeated pass);
 ``bench-train`` times ``UHSCMTrainer.fit`` steps for both contrastive
 modes (mcl/cib) under both dtype policies (float64/float32);
 ``bench-serve`` times the micro-batched vs unbatched single-query
-encode+search path of :class:`~repro.serving.HashingService`.  All
-commands run fully offline on the simulated substrate.
+encode+search path of :class:`~repro.serving.HashingService`;
+``bench-similarity`` times + peak-memory-profiles the blocked sparse
+top-k Q build against the dense O(n²) build.  All commands run fully
+offline on the simulated substrate.
+
+``--sparse-topk K`` on ``train`` / ``table1`` / ``table2`` builds the
+semantic similarity matrix Q in top-k CSR form (K strongest entries per
+row plus the diagonal) via the blocked pairwise-cosine kernel — O(n·K)
+memory instead of O(n²), exact when K >= n-1.
 
 ``serve`` stands up the online serving facade over a dataset's database
 split: the model comes from a persistence archive (``--model model.npz``),
@@ -97,7 +105,17 @@ def _add_cache_dir(parser: argparse.ArgumentParser) -> None:
                              "resumable fits (default: caching off)")
 
 
+def _add_sparse_topk(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--sparse-topk", type=int, default=None, metavar="K",
+                        help="build Q in top-k sparse CSR form via the "
+                             "blocked cosine kernel (K strongest entries "
+                             "per row + diagonal; exact when K >= n-1, "
+                             "default: dense paper-parity Q)")
+
+
 def _cmd_train(args: argparse.Namespace) -> int:
+    from dataclasses import replace
+
     from repro.core.persistence import save_uhscm
     from repro.core.uhscm import UHSCM
     from repro.pipeline import dataset_key
@@ -105,8 +123,10 @@ def _cmd_train(args: argparse.Namespace) -> int:
     store = _make_store(args)
     data = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
     clip = SimCLIP(data.world)
-    model = UHSCM(paper_config(args.dataset, n_bits=args.bits,
-                               seed=args.seed), clip=clip)
+    config = paper_config(args.dataset, n_bits=args.bits, seed=args.seed)
+    if args.sparse_topk is not None:
+        config = replace(config, sparse_topk=args.sparse_topk)
+    model = UHSCM(config, clip=clip)
     model.fit(data.train_images, store=store,
               data_key=dataset_key(args.dataset, args.scale, args.seed))
     print(f"trained UHSCM ({args.bits} bits) on {args.dataset}; "
@@ -331,6 +351,67 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
     return 0 if agree else 1
 
 
+def _cmd_bench_similarity(args: argparse.Namespace) -> int:
+    import time
+    import tracemalloc
+
+    import numpy as np
+
+    from repro.core.similarity_matrix import SparseTopKSimilarity
+    from repro.utils.mathops import cosine_similarity_matrix
+
+    rng = np.random.default_rng(args.seed)
+    features = rng.normal(size=(args.n, args.dim))
+
+    def measure(fn):
+        """Wall-clock an untraced run, then trace a second run for the peak
+        (tracemalloc's per-allocation overhead would distort the timing)."""
+        t0 = time.perf_counter()
+        out = fn()
+        elapsed = time.perf_counter() - t0
+        tracemalloc.start()
+        try:
+            fn()
+            _, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        return elapsed, peak, out
+
+    print(f"similarity bench: n={args.n} dim={args.dim} k={args.topk} "
+          f"block_rows={args.block_rows}")
+    t_dense, peak_dense, dense = measure(
+        lambda: cosine_similarity_matrix(features)
+    )
+    t_sparse, peak_sparse, sparse = measure(
+        lambda: SparseTopKSimilarity.from_features(
+            features, args.topk, block_rows=args.block_rows
+        )
+    )
+    print(f"  dense  : {t_dense * 1e3:9.1f} ms   peak {peak_dense / 1e6:8.1f} MB"
+          f"   Q bytes {dense.nbytes / 1e6:8.1f} MB")
+    print(f"  sparse : {t_sparse * 1e3:9.1f} ms   peak {peak_sparse / 1e6:8.1f} MB"
+          f"   Q bytes {sparse.nbytes / 1e6:8.1f} MB")
+    print(f"  build speedup {t_dense / t_sparse:.1f}x   "
+          f"peak-memory ratio {peak_dense / peak_sparse:.1f}x   "
+          f"Q-bytes ratio {dense.nbytes / sparse.nbytes:.1f}x")
+
+    # Correctness spot checks at a small, affordable n.
+    n_small = min(args.n, 512)
+    small = features[:n_small]
+    exact = np.array_equal(
+        SparseTopKSimilarity.from_features(small, n_small - 1).to_dense(),
+        cosine_similarity_matrix(small),
+    )
+    sp = SparseTopKSimilarity.from_features(small, min(args.topk, n_small - 1))
+    oracle = sp.to_dense()
+    idx = rng.permutation(n_small)[: min(128, n_small)]
+    gathers = np.array_equal(sp.gather(idx), oracle[np.ix_(idx, idx)])
+    print(f"  exact at k=n-1 (n={n_small}): "
+          f"{'bit-identical' if exact else 'MISMATCH'}   "
+          f"batch gather vs oracle: {'exact' if gathers else 'MISMATCH'}")
+    return 0 if exact and gathers else 1
+
+
 def _cmd_bench_train(args: argparse.Namespace) -> int:
     import time
 
@@ -380,7 +461,8 @@ def _cmd_table1(args: argparse.Namespace) -> int:
     store = _make_store(args)
     table = run_table1(scale=args.scale, bit_lengths=tuple(args.bits),
                        datasets=(args.dataset,), seed=args.seed,
-                       epochs=args.epochs, store=store)
+                       epochs=args.epochs, store=store,
+                       sparse_topk=args.sparse_topk)
     print(table.render())
     _print_store_summary(store)
     return 0
@@ -392,7 +474,8 @@ def _cmd_table2(args: argparse.Namespace) -> int:
     store = _make_store(args)
     table = run_table2(scale=args.scale, bit_lengths=tuple(args.bits),
                        datasets=(args.dataset,), seed=args.seed,
-                       epochs=args.epochs, store=store)
+                       epochs=args.epochs, store=store,
+                       sparse_topk=args.sparse_topk)
     print(table.render())
     _print_store_summary(store)
     return 0
@@ -442,6 +525,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_train = sub.add_parser("train", help="train UHSCM on one dataset")
     _add_common(p_train)
     _add_cache_dir(p_train)
+    _add_sparse_topk(p_train)
     p_train.add_argument("--bits", type=int, default=64)
     p_train.add_argument("--out", default=None, help="save model here (.npz)")
     p_train.set_defaults(func=_cmd_train)
@@ -536,9 +620,26 @@ def build_parser() -> argparse.ArgumentParser:
     p_btrain.add_argument("--seed", type=int, default=0)
     p_btrain.set_defaults(func=_cmd_bench_train)
 
+    p_bsim = sub.add_parser(
+        "bench-similarity",
+        help="time + peak-memory the blocked sparse top-k Q build vs the "
+             "dense build, with exactness spot checks",
+    )
+    p_bsim.add_argument("--n", type=int, default=6000,
+                        help="corpus rows")
+    p_bsim.add_argument("--dim", type=int, default=256,
+                        help="feature dimensionality")
+    p_bsim.add_argument("--topk", type=int, default=128,
+                        help="kept entries per Q row (plus the diagonal)")
+    p_bsim.add_argument("--block-rows", type=int, default=512,
+                        help="row-block height of the tiled GEMM")
+    p_bsim.add_argument("--seed", type=int, default=0)
+    p_bsim.set_defaults(func=_cmd_bench_similarity)
+
     p_t1 = sub.add_parser("table1", help="regenerate Table 1")
     _add_common(p_t1)
     _add_cache_dir(p_t1)
+    _add_sparse_topk(p_t1)
     p_t1.add_argument("--bits", type=int, nargs="+",
                       default=list(PAPER_BIT_LENGTHS))
     p_t1.add_argument("--epochs", type=int, default=None,
@@ -551,6 +652,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_t2 = sub.add_parser("table2", help="regenerate Table 2 (ablations)")
     _add_common(p_t2)
     _add_cache_dir(p_t2)
+    _add_sparse_topk(p_t2)
     p_t2.add_argument("--bits", type=int, nargs="+", default=[32, 64])
     p_t2.add_argument("--epochs", type=int, default=None,
                       help="override training epochs (reproduction scale)")

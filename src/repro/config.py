@@ -18,7 +18,7 @@ multiplier ``tau_scale`` so it tracks the concept count automatically).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import asdict, dataclass, field, replace
 
 from repro.errors import ConfigurationError
 
@@ -98,6 +98,14 @@ class UHSCMConfig:
     denoise:
         Apply the Eq. 4–5 concept-denoising step (ablation row 7 turns
         this off).
+    sparse_topk:
+        When set, Q is built in top-k sparse CSR form (the k strongest
+        entries per row plus the diagonal) by the blocked pairwise-cosine
+        kernel instead of as a dense (n, n) array — memory drops from
+        O(n²) to O(n·k) and training gathers batch blocks from the CSR
+        rows.  ``None`` (default) keeps the dense paper-parity path.
+        With ``sparse_topk >= n - 1`` the sparse Q is exact; smaller k is
+        an approximation that zeroes the weakest similarities.
     prompt_template:
         Template used to turn a concept into text for the VLP model.
     train:
@@ -113,6 +121,7 @@ class UHSCMConfig:
     lam: float = 0.8
     tau_scale: float = 1.0
     denoise: bool = True
+    sparse_topk: int | None = None
     prompt_template: str = DEFAULT_PROMPT_TEMPLATE
     train: TrainConfig = field(default_factory=TrainConfig)
     seed: int = 0
@@ -128,6 +137,10 @@ class UHSCMConfig:
             raise ConfigurationError(f"lam must be in [0, 1]: {self.lam}")
         if self.tau_scale <= 0:
             raise ConfigurationError(f"tau_scale must be > 0: {self.tau_scale}")
+        if self.sparse_topk is not None and self.sparse_topk <= 0:
+            raise ConfigurationError(
+                f"sparse_topk must be positive (or None): {self.sparse_topk}"
+            )
         if "{concept}" not in self.prompt_template:
             raise ConfigurationError(
                 "prompt_template must contain a '{concept}' placeholder: "
@@ -137,6 +150,20 @@ class UHSCMConfig:
     def with_bits(self, n_bits: int) -> "UHSCMConfig":
         """Copy of this config at a different code length."""
         return replace(self, n_bits=n_bits)
+
+    def fingerprint_payload(self) -> dict:
+        """JSON-able form of this config for content fingerprints.
+
+        Omits ``sparse_topk`` when it is None, so every train-stage and
+        model-snapshot fingerprint minted before the sparse similarity
+        engine existed stays valid (dense runs replay their cached
+        artifacts across the upgrade); the key participates only when
+        sparsity is actually on.
+        """
+        payload = asdict(self)
+        if payload.get("sparse_topk") is None:
+            del payload["sparse_topk"]
+        return payload
 
     def tau(self, n_concepts: int) -> float:
         """Concrete softmax temperature τ for an ``n_concepts`` vocabulary."""

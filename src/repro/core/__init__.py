@@ -25,6 +25,14 @@ from repro.core.similarity import (
     SimilarityResult,
     similarity_from_distributions,
 )
+from repro.core.similarity_matrix import (
+    DenseSimilarity,
+    SimilarityMatrix,
+    SparseTopKSimilarity,
+    as_similarity_matrix,
+    similarity_fingerprint,
+    similarity_from_payload,
+)
 from repro.core.trainer import TrainHistory, UHSCMTrainer
 from repro.core.uhscm import UHSCM
 from repro.core.variants import VARIANTS, get_variant, make_uhscm
@@ -33,15 +41,19 @@ __all__ = [
     "ClusteredConceptSimilarityGenerator",
     "ConceptMiner",
     "DenoisingResult",
+    "DenseSimilarity",
     "HashingNetwork",
     "ImageFeatureSimilarityGenerator",
     "LossBreakdown",
     "SemanticSimilarityGenerator",
+    "SimilarityMatrix",
     "SimilarityResult",
+    "SparseTopKSimilarity",
     "TrainHistory",
     "UHSCM",
     "UHSCMTrainer",
     "VARIANTS",
+    "as_similarity_matrix",
     "cib_contrastive_loss",
     "cib_objective",
     "concept_distributions",
@@ -54,7 +66,9 @@ __all__ = [
     "save_uhscm",
     "modified_contrastive_loss",
     "quantization_loss",
+    "similarity_fingerprint",
     "similarity_from_distributions",
+    "similarity_from_payload",
     "similarity_preserving_loss",
     "uhscm_objective",
 ]

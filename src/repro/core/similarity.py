@@ -17,6 +17,12 @@ import numpy as np
 
 from repro.core.denoising import DenoisingResult, denoise_concepts
 from repro.core.mining import ConceptMiner, concept_distributions
+from repro.core.similarity_matrix import (
+    SimilarityMatrix,
+    SparseTopKSimilarity,
+    as_similarity_matrix,
+    similarity_from_payload,
+)
 from repro.errors import ConfigurationError
 from repro.pipeline import (
     BUILD_Q,
@@ -32,14 +38,47 @@ from repro.vlp.clip import SimCLIP
 from repro.vlp.prompts import PromptTemplate
 
 
-def similarity_from_distributions(distributions: np.ndarray) -> np.ndarray:
-    """Eq. 3 / Eq. 6: pairwise cosine similarity of concept distributions."""
-    dist = np.asarray(distributions, dtype=np.float64)
+def similarity_from_distributions(
+    distributions: np.ndarray,
+    sparse_topk: int | None = None,
+    dtype: np.dtype | str | None = None,
+) -> "np.ndarray | SparseTopKSimilarity":
+    """Eq. 3 / Eq. 6: pairwise cosine similarity of concept distributions.
+
+    ``sparse_topk=None`` (default) returns the dense (n, n) array exactly
+    as before; a positive k routes through the blocked kernel and returns
+    the top-k CSR form, never materializing n².
+    """
+    dist = np.asarray(
+        distributions, dtype=np.float64 if dtype is None else dtype
+    )
     if dist.ndim != 2:
         raise ConfigurationError(
             f"distributions must be (n, m), got {dist.shape}"
         )
-    return cosine_similarity_matrix(dist)
+    if sparse_topk is None:
+        return cosine_similarity_matrix(dist, dtype=dist.dtype)
+    return SparseTopKSimilarity.from_features(
+        dist, sparse_topk, dtype=dist.dtype
+    )
+
+
+def _q_payload(
+    matrix: "np.ndarray | SimilarityMatrix", concepts
+) -> tuple[dict, dict[str, np.ndarray]]:
+    """The build_q artifact body for either Q form (dense layout unchanged)."""
+    q_meta, q_arrays = as_similarity_matrix(matrix).payload()
+    return {"concepts": list(concepts), **q_meta}, q_arrays
+
+
+def _sparsity_params(sparse_topk: int | None) -> dict:
+    """Fingerprint fragment for the sparsity settings.
+
+    Only present when sparsity is on, so every dense build_q fingerprint —
+    and with it every artifact cached before the sparse engine existed —
+    stays valid.
+    """
+    return {} if sparse_topk is None else {"sparse_topk": int(sparse_topk)}
 
 
 @dataclass
@@ -55,7 +94,7 @@ class SimilarityResult:
     stages chain on it without re-hashing the matrix.
     """
 
-    matrix: np.ndarray
+    matrix: "np.ndarray | SimilarityMatrix"
     concepts: tuple[str, ...]
     denoising: DenoisingResult | None = None
     distributions: np.ndarray | None = field(default=None, repr=False)
@@ -80,6 +119,11 @@ class SemanticSimilarityGenerator:
         τ multiplier for Eq. 2 (τ = tau_scale · m).
     denoise:
         Apply Eq. 4–5 between the two mining passes.
+    sparse_topk:
+        ``None`` (default) builds the dense (n, n) Q; a positive k builds
+        the top-k CSR form via the blocked kernel instead (exact for
+        ``k >= n - 1``, a weak-pair truncation below that).  Incompatible
+        with template averaging, which needs dense matrices to mix.
     """
 
     def __init__(
@@ -89,16 +133,23 @@ class SemanticSimilarityGenerator:
         templates: tuple[PromptTemplate | str | None, ...] = (None,),
         tau_scale: float = 1.0,
         denoise: bool = True,
+        sparse_topk: int | None = None,
     ) -> None:
         if not concepts:
             raise ConfigurationError("candidate concept set is empty")
         if not templates:
             raise ConfigurationError("at least one prompt template is required")
+        if sparse_topk is not None and len(templates) > 1:
+            raise ConfigurationError(
+                "sparse_topk cannot be combined with template averaging: "
+                "averaged Q requires dense per-template matrices"
+            )
         self.clip = clip
         self.concepts = tuple(concepts)
         self.templates = templates
         self.tau_scale = tau_scale
         self.denoise = denoise
+        self.sparse_topk = sparse_topk
 
     def _generate_single(
         self, images: np.ndarray, template: PromptTemplate | str | None
@@ -113,7 +164,9 @@ class SemanticSimilarityGenerator:
             # Second prompting pass over the clean set C' (Algorithm 1 step 4).
             distributions = miner.mine(images, concepts)
         return SimilarityResult(
-            matrix=similarity_from_distributions(distributions),
+            matrix=similarity_from_distributions(
+                distributions, sparse_topk=self.sparse_topk
+            ),
             concepts=concepts,
             denoising=denoising,
             distributions=distributions,
@@ -188,18 +241,24 @@ class SemanticSimilarityGenerator:
             )
             distributions = den_art.arrays["distributions"]
             upstream = denoise_stage
-        q_stage = Stage(BUILD_Q, inputs=(upstream.fingerprint,))
+        q_stage = Stage(
+            BUILD_Q,
+            params=_sparsity_params(self.sparse_topk),
+            inputs=(upstream.fingerprint,),
+        )
         final_distributions = distributions
         q_art = run_stage(
             store,
             q_stage,
-            lambda: (
-                {"concepts": list(concepts)},
-                {"matrix": similarity_from_distributions(final_distributions)},
+            lambda: _q_payload(
+                similarity_from_distributions(
+                    final_distributions, sparse_topk=self.sparse_topk
+                ),
+                concepts,
             ),
         )
         return SimilarityResult(
-            matrix=q_art.arrays["matrix"],
+            matrix=similarity_from_payload(q_art.meta, q_art.arrays),
             concepts=concepts,
             denoising=denoising,
             distributions=distributions,
@@ -264,11 +323,23 @@ class ImageFeatureSimilarityGenerator:
     """The ``UHSCM_IF`` ablation: Q from raw VLP image-feature cosine.
 
     Skips concept mining entirely — this is the strategy of prior work
-    (SSDH / MLS3RDUH style) that the paper argues against.
+    (SSDH / MLS3RDUH style) that the paper argues against.  ``sparse_topk``
+    selects the top-k CSR form exactly as in
+    :class:`SemanticSimilarityGenerator` — raw-feature Q is the generator
+    large corpora actually hit (no mining bottleneck), so it scales too.
     """
 
-    def __init__(self, clip: SimCLIP) -> None:
+    def __init__(self, clip: SimCLIP, sparse_topk: int | None = None) -> None:
         self.clip = clip
+        self.sparse_topk = sparse_topk
+
+    def _build_matrix(
+        self, images: np.ndarray
+    ) -> "np.ndarray | SparseTopKSimilarity":
+        features = self.clip.image_features(images)
+        if self.sparse_topk is None:
+            return cosine_similarity_matrix(features)
+        return SparseTopKSimilarity.from_features(features, self.sparse_topk)
 
     def generate(
         self,
@@ -276,10 +347,6 @@ class ImageFeatureSimilarityGenerator:
         store: ArtifactStore | None = None,
         data_key: dict | None = None,
     ) -> SimilarityResult:
-        def build() -> tuple[dict, dict[str, np.ndarray]]:
-            features = self.clip.image_features(images)
-            return {"concepts": []}, {"matrix": cosine_similarity_matrix(features)}
-
         if store is not None and data_key is not None:
             stage = Stage(
                 BUILD_Q,
@@ -287,15 +354,19 @@ class ImageFeatureSimilarityGenerator:
                     "kind": "image-features",
                     "data": dict(data_key),
                     "world": canonical(self.clip.world.config),
+                    **_sparsity_params(self.sparse_topk),
                 },
             )
-            art = run_stage(store, stage, build)
-            return SimilarityResult(
-                matrix=art.arrays["matrix"], concepts=(), fingerprint=art.key
+            art = run_stage(
+                store, stage, lambda: _q_payload(self._build_matrix(images), ())
             )
-        _, arrays = build()
+            return SimilarityResult(
+                matrix=similarity_from_payload(art.meta, art.arrays),
+                concepts=(),
+                fingerprint=art.key,
+            )
         return SimilarityResult(
-            matrix=arrays["matrix"],
+            matrix=self._build_matrix(images),
             concepts=(),
             denoising=None,
             distributions=None,
@@ -319,6 +390,7 @@ class ClusteredConceptSimilarityGenerator:
         template: PromptTemplate | str | None = None,
         tau_scale: float = 1.0,
         seed: int = 0,
+        sparse_topk: int | None = None,
     ) -> None:
         if n_clusters <= 0:
             raise ConfigurationError(f"n_clusters must be positive: {n_clusters}")
@@ -332,6 +404,7 @@ class ClusteredConceptSimilarityGenerator:
         self.template = template
         self.tau_scale = tau_scale
         self.seed = seed
+        self.sparse_topk = sparse_topk
 
     def generate(
         self,
@@ -359,13 +432,14 @@ class ClusteredConceptSimilarityGenerator:
             scores = (np.clip(image_emb @ centroids.T, -1.0, 1.0) + 1.0) / 2.0
             tau = self.tau_scale * self.n_clusters
             distributions = concept_distributions(scores, tau)
-            return (
-                {"concepts": list(concepts)},
-                {
-                    "matrix": similarity_from_distributions(distributions),
-                    "distributions": distributions,
-                },
+            meta, arrays = _q_payload(
+                similarity_from_distributions(
+                    distributions, sparse_topk=self.sparse_topk
+                ),
+                concepts,
             )
+            arrays["distributions"] = distributions
+            return meta, arrays
 
         if store is not None and data_key is not None:
             stage = Stage(
@@ -379,18 +453,19 @@ class ClusteredConceptSimilarityGenerator:
                     "n_clusters": self.n_clusters,
                     "tau_scale": self.tau_scale,
                     "seed": self.seed,
+                    **_sparsity_params(self.sparse_topk),
                 },
             )
             art = run_stage(store, stage, build)
             return SimilarityResult(
-                matrix=art.arrays["matrix"],
+                matrix=similarity_from_payload(art.meta, art.arrays),
                 concepts=concepts,
                 distributions=art.arrays["distributions"],
                 fingerprint=art.key,
             )
-        _, arrays = build()
+        meta, arrays = build()
         return SimilarityResult(
-            matrix=arrays["matrix"],
+            matrix=similarity_from_payload(meta, arrays),
             concepts=concepts,
             denoising=None,
             distributions=arrays["distributions"],

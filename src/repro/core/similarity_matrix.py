@@ -1,0 +1,299 @@
+"""The ``SimilarityMatrix`` abstraction over the paper's Q (Eq. 3 / Eq. 6).
+
+Every layer of Algorithm 1 that touches the semantic similarity matrix only
+ever needs three operations: the t×t sub-block for a training mini-batch
+(:meth:`SimilarityMatrix.gather`), a dtype cast at ``fit`` time, and a
+serializable payload for the artifact store.  This module provides two
+interchangeable implementations behind that contract:
+
+- :class:`DenseSimilarity` — the existing (n, n) array, bit-identical to
+  the seed behavior and the default everywhere (paper parity);
+- :class:`SparseTopKSimilarity` — a top-k CSR form built by the blocked
+  kernel :func:`repro.utils.mathops.blocked_topk_cosine`, which keeps only
+  the k strongest entries per row (plus the diagonal) and never
+  materializes n².  At 1M rows a dense float64 Q is ~8 TB; the CSR form is
+  ``n · (k + 1)`` values + indices, linear in n.
+
+With ``k >= n - 1`` the sparse form holds every entry and densifies
+bit-identically to the dense matrix, which is the correctness anchor gated
+by ``benchmarks/bench_similarity_scale.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ShapeError
+from repro.utils.mathops import blocked_topk_cosine
+
+#: ``meta`` key identifying the payload layout of a stored Q.
+PAYLOAD_FORMAT_KEY = "q_format"
+DENSE_FORMAT = "dense"
+CSR_FORMAT = "csr-topk"
+
+
+class SimilarityMatrix:
+    """Contract shared by both Q representations.
+
+    Subclasses expose ``shape``/``dtype``/``nbytes``, batch gathering,
+    casting, densification, and the store payload.  ``nbytes`` is the
+    memory model documented in the README: ``n² · itemsize`` dense versus
+    ``n · (k + 1)`` values + indices sparse.
+    """
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        raise NotImplementedError
+
+    @property
+    def dtype(self) -> np.dtype:
+        raise NotImplementedError
+
+    @property
+    def nbytes(self) -> int:
+        raise NotImplementedError
+
+    @property
+    def n(self) -> int:
+        return self.shape[0]
+
+    def astype(self, dtype: np.dtype | str) -> "SimilarityMatrix":
+        """Cast values to ``dtype``; a no-op (returns self) when already there."""
+        raise NotImplementedError
+
+    def gather(self, idx: np.ndarray) -> np.ndarray:
+        """Dense ``Q[idx][:, idx]`` block for a mini-batch (``idx`` unique)."""
+        raise NotImplementedError
+
+    def to_dense(self) -> np.ndarray:
+        """The full (n, n) array; O(n²) — for tests and small matrices only."""
+        raise NotImplementedError
+
+    def payload(self) -> tuple[dict, dict[str, np.ndarray]]:
+        """``(meta, arrays)`` fragments for the artifact-store archive."""
+        raise NotImplementedError
+
+
+class DenseSimilarity(SimilarityMatrix):
+    """The paper-parity dense (n, n) similarity matrix."""
+
+    def __init__(self, matrix: np.ndarray) -> None:
+        matrix = np.asarray(matrix)
+        if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+            raise ShapeError(
+                f"similarity matrix must be square 2-D, got {matrix.shape}"
+            )
+        self.matrix = matrix
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.matrix.shape
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.matrix.dtype
+
+    @property
+    def nbytes(self) -> int:
+        return self.matrix.nbytes
+
+    def astype(self, dtype: np.dtype | str) -> "DenseSimilarity":
+        dtype = np.dtype(dtype)
+        if self.matrix.dtype == dtype:
+            return self
+        return DenseSimilarity(self.matrix.astype(dtype))
+
+    def gather(self, idx: np.ndarray) -> np.ndarray:
+        # One flat take instead of np.ix_'s open-mesh fancy-index: gathers
+        # only the t² sub-block (O(n·t) per epoch, no O(n²) permuted copy)
+        # and measures fastest at the gated training scale.  intp keeps the
+        # idx*n flat offsets from wrapping when a caller hands int32 ids.
+        idx = np.asarray(idx, dtype=np.intp)
+        return self.matrix.take(idx[:, None] * self.n + idx[None, :])
+
+    def to_dense(self) -> np.ndarray:
+        return self.matrix
+
+    def payload(self) -> tuple[dict, dict[str, np.ndarray]]:
+        return {PAYLOAD_FORMAT_KEY: DENSE_FORMAT}, {"matrix": self.matrix}
+
+
+class SparseTopKSimilarity(SimilarityMatrix):
+    """Top-k CSR similarity: the k strongest entries per row + the diagonal.
+
+    ``data``/``indices``/``indptr`` follow the canonical CSR convention
+    (column indices sorted ascending within each row).  Entries absent from
+    a row read as 0.0 — for a cosine Q over concept distributions the weak
+    entries are near zero anyway, which is what makes the truncation a
+    controlled approximation (and exact once ``k >= n - 1``).
+    """
+
+    def __init__(
+        self,
+        data: np.ndarray,
+        indices: np.ndarray,
+        indptr: np.ndarray,
+        n: int,
+        k: int,
+    ) -> None:
+        data = np.asarray(data)
+        indices = np.asarray(indices)
+        indptr = np.asarray(indptr)
+        if data.ndim != 1 or indices.ndim != 1 or indptr.ndim != 1:
+            raise ShapeError("CSR components must be 1-D arrays")
+        if data.shape != indices.shape:
+            raise ShapeError(
+                f"data/indices length mismatch: {data.shape} vs {indices.shape}"
+            )
+        if indptr.shape != (n + 1,):
+            raise ShapeError(
+                f"indptr must have length n + 1 = {n + 1}, got {indptr.shape}"
+            )
+        if int(indptr[-1]) != data.shape[0]:
+            raise ShapeError(
+                f"indptr[-1] ({int(indptr[-1])}) must equal nnz ({data.shape[0]})"
+            )
+        if k <= 0:
+            raise ConfigurationError(f"k must be positive: {k}")
+        self.data = data
+        self.indices = indices
+        self.indptr = indptr
+        self.k = int(k)
+        self._n = int(n)
+        self._col_pos: np.ndarray | None = None  # lazily built gather scratch
+
+    @classmethod
+    def from_features(
+        cls,
+        features: np.ndarray,
+        k: int,
+        block_rows: int = 512,
+        dtype: np.dtype | str | None = None,
+    ) -> "SparseTopKSimilarity":
+        """Build from raw feature rows via the blocked pairwise-cosine kernel."""
+        features = np.atleast_2d(features)
+        data, indices, indptr = blocked_topk_cosine(
+            features, k, block_rows=block_rows, dtype=dtype
+        )
+        return cls(data, indices, indptr, n=features.shape[0], k=k)
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self._n, self._n)
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.data.dtype
+
+    @property
+    def nbytes(self) -> int:
+        return self.data.nbytes + self.indices.nbytes + self.indptr.nbytes
+
+    def astype(self, dtype: np.dtype | str) -> "SparseTopKSimilarity":
+        dtype = np.dtype(dtype)
+        if self.data.dtype == dtype:
+            return self
+        return SparseTopKSimilarity(
+            self.data.astype(dtype), self.indices, self.indptr,
+            n=self._n, k=self.k,
+        )
+
+    def gather(self, idx: np.ndarray) -> np.ndarray:
+        """CSR row-slice + column-select, densified at batch size.
+
+        O(t · (k + 1)) per batch after a one-time O(n) scratch allocation:
+        the selected rows' stored entries are scattered into a zero (t, t)
+        block wherever their column also belongs to ``idx``.  ``idx`` must
+        be duplicate-free (mini-batch permutation slices always are).
+        """
+        idx = np.asarray(idx)
+        t = idx.shape[0]
+        out = np.zeros((t, t), dtype=self.dtype)
+        if t == 0:
+            return out
+        if self._col_pos is None:
+            self._col_pos = np.full(self._n, -1, dtype=np.int64)
+        pos = self._col_pos
+        pos[idx] = np.arange(t)
+        starts = self.indptr[idx].astype(np.int64, copy=False)
+        counts = (self.indptr[idx + 1] - self.indptr[idx]).astype(
+            np.int64, copy=False
+        )
+        ends = np.cumsum(counts)
+        # Flat data positions of every stored entry in the selected rows.
+        flat = np.arange(ends[-1], dtype=np.int64)
+        flat += np.repeat(starts - (ends - counts), counts)
+        cols = pos[self.indices[flat]]
+        keep = cols >= 0
+        rows = np.repeat(np.arange(t), counts)[keep]
+        out[rows, cols[keep]] = self.data[flat[keep]]
+        pos[idx] = -1  # reset the scratch for the next batch
+        return out
+
+    def to_dense(self) -> np.ndarray:
+        out = np.zeros((self._n, self._n), dtype=self.dtype)
+        rows = np.repeat(np.arange(self._n), np.diff(self.indptr))
+        out[rows, self.indices] = self.data
+        return out
+
+    def payload(self) -> tuple[dict, dict[str, np.ndarray]]:
+        meta = {
+            PAYLOAD_FORMAT_KEY: CSR_FORMAT,
+            "n": self._n,
+            "sparse_topk": self.k,
+        }
+        arrays = {
+            "q_data": self.data,
+            "q_indices": self.indices,
+            "q_indptr": self.indptr,
+        }
+        return meta, arrays
+
+
+def as_similarity_matrix(
+    value: "np.ndarray | SimilarityMatrix",
+) -> SimilarityMatrix:
+    """Wrap a raw array as :class:`DenseSimilarity`; pass wrappers through."""
+    if isinstance(value, SimilarityMatrix):
+        return value
+    return DenseSimilarity(np.asarray(value))
+
+
+def similarity_from_payload(
+    meta: dict, arrays: dict[str, np.ndarray]
+) -> "np.ndarray | SparseTopKSimilarity":
+    """Reconstruct a stored Q from its archive body.
+
+    The dense layout (also every pre-sparse artifact, which carries no
+    format marker) comes back as the raw array so downstream consumers of
+    the historical contract are untouched; the CSR layout comes back as a
+    :class:`SparseTopKSimilarity`.
+    """
+    layout = meta.get(PAYLOAD_FORMAT_KEY, DENSE_FORMAT)
+    if layout == DENSE_FORMAT:
+        return arrays["matrix"]
+    if layout == CSR_FORMAT:
+        return SparseTopKSimilarity(
+            arrays["q_data"], arrays["q_indices"], arrays["q_indptr"],
+            n=int(meta["n"]), k=int(meta["sparse_topk"]),
+        )
+    raise ConfigurationError(f"unknown similarity payload format {layout!r}")
+
+
+def similarity_fingerprint(value: "np.ndarray | SimilarityMatrix") -> str:
+    """Content hash of either Q form (used for injected-Q train stages)."""
+    from repro.pipeline.fingerprint import array_fingerprint, fingerprint
+
+    matrix = as_similarity_matrix(value)
+    if isinstance(matrix, SparseTopKSimilarity):
+        return fingerprint(
+            {
+                "kind": CSR_FORMAT,
+                "k": matrix.k,
+                "n": matrix.n,
+                "data": array_fingerprint(matrix.data),
+                "indices": array_fingerprint(matrix.indices),
+                "indptr": array_fingerprint(matrix.indptr),
+            }
+        )
+    return array_fingerprint(matrix.to_dense())

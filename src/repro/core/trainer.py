@@ -20,6 +20,7 @@ import numpy as np
 from repro.config import TrainConfig, UHSCMConfig
 from repro.core.hashing_network import HashingNetwork
 from repro.core.losses import LossBreakdown, cib_objective, uhscm_objective
+from repro.core.similarity_matrix import SimilarityMatrix, as_similarity_matrix
 from repro.errors import ConfigurationError
 from repro.nn.optim import SGD
 from repro.nn.parameter import resolve_dtype
@@ -99,7 +100,7 @@ class UHSCMTrainer:
     def fit(
         self,
         inputs: np.ndarray,
-        similarity: np.ndarray,
+        similarity: "np.ndarray | SimilarityMatrix",
         epochs: int | None = None,
     ) -> TrainHistory:
         """Run Algorithm 1's optimization loop.
@@ -109,7 +110,10 @@ class UHSCMTrainer:
         inputs:
             Network-ready training inputs (features or raw images), length n.
         similarity:
-            The (n, n) semantic similarity matrix Q.
+            The (n, n) semantic similarity matrix Q — a dense array or any
+            :class:`~repro.core.similarity_matrix.SimilarityMatrix` (the
+            top-k CSR form trains without ever densifying beyond the t×t
+            batch block).
         epochs:
             Override for ``config.train.epochs``.
         """
@@ -119,7 +123,7 @@ class UHSCMTrainer:
             raise ConfigurationError(
                 f"similarity must be ({n}, {n}), got {similarity.shape}"
             )
-        similarity = np.asarray(similarity, dtype=self.dtype)
+        similarity = as_similarity_matrix(similarity).astype(self.dtype)
         epochs = self.config.train.epochs if epochs is None else epochs
         if epochs <= 0:
             raise ConfigurationError(f"epochs must be positive: {epochs}")
@@ -135,11 +139,10 @@ class UHSCMTrainer:
                 idx = order[start:stop]
                 if idx.size < 2:
                     continue  # pairwise losses need at least two images
-                # One flat take per batch instead of np.ix_'s open-mesh
-                # fancy-index: gathers only the t² sub-block (O(n·t) per
-                # epoch, no O(n²) permuted copy) and measures fastest at
-                # the gated training scale.
-                q_batch = similarity.take(idx[:, None] * n + idx[None, :])
+                # Dense Q gathers the t² sub-block with one flat take;
+                # sparse Q densifies its stored batch entries into a zero
+                # block.  Either way only O(t²) is materialized per step.
+                q_batch = similarity.gather(idx)
                 if self.contrastive == "mcl":
                     breakdown = self._step_mcl(inputs[idx], q_batch)
                 else:

@@ -62,7 +62,9 @@ def make_if(config: UHSCMConfig, clip: SimCLIP) -> UHSCM:
     return UHSCM(
         config,
         clip=clip,
-        similarity_generator=ImageFeatureSimilarityGenerator(clip),
+        similarity_generator=ImageFeatureSimilarityGenerator(
+            clip, sparse_topk=config.sparse_topk
+        ),
     )
 
 
@@ -84,7 +86,15 @@ make_p2 = _make_prompt_variant("p2")
 
 
 def make_avg(config: UHSCMConfig, clip: SimCLIP) -> UHSCM:
-    """Row 6 (UHSCM_avg): Q averaged across the three prompt templates."""
+    """Row 6 (UHSCM_avg): Q averaged across the three prompt templates.
+
+    Template averaging needs dense per-template matrices to mix, so this
+    variant always builds dense Q — ``config.sparse_topk`` is deliberately
+    cleared, keeping sparse Table 2 sweeps able to run every row and its
+    cached cells valid across the toggle (constructing a multi-template
+    generator with ``sparse_topk`` directly still raises).
+    """
+    config = replace(config, sparse_topk=None)
     generator = SemanticSimilarityGenerator(
         clip,
         NUS_WIDE_81,
@@ -110,6 +120,7 @@ def _make_cluster_variant(n_clusters: int) -> VariantFactory:
             template=config.prompt_template,
             tau_scale=config.tau_scale,
             seed=config.seed,
+            sparse_topk=config.sparse_topk,
         )
         return UHSCM(config, clip=clip, similarity_generator=generator)
 

@@ -70,6 +70,9 @@ class ExperimentContext:
     #: Optional artifact store making fits resumable and Q shareable across
     #: bit widths; None keeps the purely in-process cache.
     store: ArtifactStore | None = None
+    #: Top-k sparse Q for UHSCM fits (None = dense paper-parity Q); see
+    #: :attr:`repro.config.UHSCMConfig.sparse_topk`.
+    sparse_topk: int | None = None
     dataset: HashingDataset = field(init=False)
     clip: SimCLIP = field(init=False)
     _cache: dict[tuple[str, int], FitResult] = field(default_factory=dict)
@@ -86,15 +89,22 @@ class ExperimentContext:
         return dataset_key(self.dataset_name, self.scale, self.seed)
 
     def _fit_stage(self, label: str, n_bits: int) -> Stage:
-        return Stage(
-            ENCODE,
-            params={
-                "data": self.data_key(),
-                "method": label,
-                "n_bits": n_bits,
-                "epochs": self.epochs,
-            },
-        )
+        params = {
+            "data": self.data_key(),
+            "method": label,
+            "n_bits": n_bits,
+            "epochs": self.epochs,
+        }
+        uses_q = (label.upper() == "UHSCM"
+                  or (label.startswith("variant:")
+                      and label != "variant:avg"))
+        if self.sparse_topk is not None and uses_q:
+            # Only when set and only for the UHSCM family — baselines never
+            # consume Q, and the avg variant always builds dense Q — so
+            # those cells (and every artifact cached before the sparse
+            # engine existed) stay valid either way.
+            params["sparse_topk"] = self.sparse_topk
+        return Stage(ENCODE, params=params)
 
     # -- method construction ---------------------------------------------------
 
@@ -120,12 +130,14 @@ class ExperimentContext:
         )
 
     def uhscm_config(self, n_bits: int) -> UHSCMConfig:
+        from dataclasses import replace
+
         config = paper_config(self.dataset_name, n_bits=n_bits, seed=self.seed)
         if self.epochs is not None:
-            from dataclasses import replace
-
             config = replace(config, train=replace(config.train,
                                                    epochs=self.epochs))
+        if self.sparse_topk is not None:
+            config = replace(config, sparse_topk=self.sparse_topk)
         return config
 
     def build_variant(self, key: str, n_bits: int) -> UHSCM:
@@ -240,12 +252,13 @@ def make_contexts(
     seed: int = 0,
     epochs: int | None = None,
     store: ArtifactStore | None = None,
+    sparse_topk: int | None = None,
 ) -> dict[str, ExperimentContext]:
     """Build one context per dataset."""
     if not datasets:
         raise ConfigurationError("no datasets requested")
     return {
         name: ExperimentContext(name, scale=scale, seed=seed, epochs=epochs,
-                                store=store)
+                                store=store, sparse_topk=sparse_topk)
         for name in datasets
     }

@@ -40,16 +40,19 @@ def run_table2(
     seed: int = 0,
     epochs: int | None = None,
     store=None,
+    sparse_topk: int | None = None,
 ) -> MapTable:
     """Regenerate Table 2 (variant ablations) at the requested scale.
 
     With an artifact store, variants sharing similarity settings (e.g.
     ``ours`` / ``wo_mcl`` / ``cl``, which differ only on the training side)
     reuse one mined Q per dataset, and finished cells replay on resume.
+    ``sparse_topk`` routes the UHSCM-family variants through the top-k CSR
+    Q engine (the ``avg`` variant requires dense Q and rejects it).
     """
     table = MapTable(title="Table 2: MAPs of UHSCM and its variants")
     contexts = make_contexts(datasets, scale=scale, seed=seed, epochs=epochs,
-                             store=store)
+                             store=store, sparse_topk=sparse_topk)
     for dataset, ctx in contexts.items():
         for bits in bit_lengths:
             for key in variants:

@@ -3,13 +3,21 @@
 These helpers implement the primitive operations the paper's equations rely
 on: temperature softmax (Eq. 2), cosine-similarity matrices (Eq. 3/6), the
 sign function used to binarize hash codes, and safe L2 normalization.
+
+The cosine helpers accept a ``dtype`` so callers under a numeric policy
+(the nn stack's float32 mode, the blocked sparse-Q kernel) never pay an
+upcast copy; the default stays float64, bit-stable with the seed
+implementation.  :func:`blocked_topk_cosine` is the scaling escape hatch:
+it tiles the ``a_n @ a_n.T`` product over row blocks and keeps only the k
+strongest entries per row (plus the diagonal) in CSR form, so the full
+(n, n) similarity matrix is never materialized.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.errors import ShapeError
+from repro.errors import ConfigurationError, ShapeError
 
 #: Elements with L2 norm below this are treated as zero vectors when
 #: normalizing, to avoid division blow-ups.
@@ -41,17 +49,33 @@ def softmax(x: np.ndarray, temperature: float = 1.0, axis: int = -1) -> np.ndarr
     return e / np.sum(e, axis=axis, keepdims=True)
 
 
-def l2_normalize(x: np.ndarray, axis: int = -1) -> np.ndarray:
-    """Scale rows (along ``axis``) to unit L2 norm; zero rows stay zero."""
-    x = np.asarray(x, dtype=np.float64)
+def l2_normalize(
+    x: np.ndarray, axis: int = -1, dtype: np.dtype | str | None = None
+) -> np.ndarray:
+    """Scale rows (along ``axis``) to unit L2 norm; zero rows stay zero.
+
+    ``dtype`` selects the working precision (default float64, the seed
+    behavior); the norms are computed in that dtype, so a float32 caller
+    never round-trips through a float64 copy.
+    """
+    x = np.asarray(x, dtype=np.float64 if dtype is None else dtype)
     norms = np.linalg.norm(x, axis=axis, keepdims=True)
     return x / np.maximum(norms, _NORM_EPS)
 
 
-def pairwise_inner(a: np.ndarray, b: np.ndarray | None = None) -> np.ndarray:
-    """Dense inner-product matrix ``a @ b.T`` with shape checking."""
-    a = np.asarray(a, dtype=np.float64)
-    b = a if b is None else np.asarray(b, dtype=np.float64)
+def pairwise_inner(
+    a: np.ndarray,
+    b: np.ndarray | None = None,
+    dtype: np.dtype | str | None = None,
+) -> np.ndarray:
+    """Dense inner-product matrix ``a @ b.T`` with shape checking.
+
+    ``dtype`` is a passthrough for dtype-policy callers: inputs already in
+    that dtype are used as-is (no upcast copy), anything else is cast once.
+    ``None`` keeps the historical float64 contract.
+    """
+    a = np.asarray(a, dtype=np.float64 if dtype is None else dtype)
+    b = a if b is None else np.asarray(b, dtype=a.dtype)
     if a.ndim != 2 or b.ndim != 2:
         raise ShapeError(f"expected 2-D arrays, got shapes {a.shape} and {b.shape}")
     if a.shape[1] != b.shape[1]:
@@ -61,16 +85,90 @@ def pairwise_inner(a: np.ndarray, b: np.ndarray | None = None) -> np.ndarray:
     return a @ b.T
 
 
-def cosine_similarity_matrix(a: np.ndarray, b: np.ndarray | None = None) -> np.ndarray:
+def cosine_similarity_matrix(
+    a: np.ndarray,
+    b: np.ndarray | None = None,
+    dtype: np.dtype | str | None = None,
+) -> np.ndarray:
     """Pairwise cosine similarity (paper Eq. 3 and Eq. 6).
 
     Rows of ``a`` (and ``b``) are treated as vectors; zero vectors produce
-    zero similarity instead of NaN.
+    zero similarity instead of NaN.  ``dtype`` selects the working
+    precision (default float64).
     """
-    a_n = l2_normalize(np.atleast_2d(a))
-    b_n = a_n if b is None else l2_normalize(np.atleast_2d(b))
-    sims = pairwise_inner(a_n, b_n)
+    a_n = l2_normalize(np.atleast_2d(a), dtype=dtype)
+    b_n = a_n if b is None else l2_normalize(np.atleast_2d(b), dtype=dtype)
+    sims = pairwise_inner(a_n, b_n, dtype=a_n.dtype)
     return np.clip(sims, -1.0, 1.0)
+
+
+def blocked_topk_cosine(
+    features: np.ndarray,
+    k: int,
+    block_rows: int = 512,
+    dtype: np.dtype | str | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """CSR top-k rows of the cosine-similarity matrix, built blockwise.
+
+    Tiles ``a_n[start:stop] @ a_n.T`` over row blocks of ``block_rows`` and
+    keeps, per row, the k strongest entries plus the diagonal — the full
+    (n, n) matrix never exists.  Peak extra memory is O(block_rows · n) for
+    the GEMM buffer instead of O(n²).
+
+    Returns ``(data, indices, indptr)`` in canonical CSR form: column
+    indices sorted ascending within each row, every row holding exactly
+    ``min(k, n - 1) + 1`` entries.  Values are bit-identical to the
+    corresponding entries of :func:`cosine_similarity_matrix` (a row block
+    of a GEMM is the same dot products, and the clip is applied
+    identically), so with ``k >= n - 1`` densifying the result reproduces
+    the dense matrix exactly.  Caveat: degenerate block heights of a few
+    rows can route BLAS through a different (gemv-style) kernel whose
+    summation order differs by ~1 ulp; keep ``block_rows`` at a practical
+    size (the default 512, or anything >= a SIMD width) for the
+    bit-identity guarantee.
+    """
+    if k <= 0:
+        raise ConfigurationError(f"k must be positive: {k}")
+    if block_rows <= 0:
+        raise ConfigurationError(f"block_rows must be positive: {block_rows}")
+    a_n = l2_normalize(np.atleast_2d(features), dtype=dtype)
+    if a_n.ndim != 2:
+        raise ShapeError(f"expected a 2-D feature array, got {a_n.shape}")
+    n = a_n.shape[0]
+    if n == 0:  # empty corpus: an empty CSR, like the dense (0, 0) matrix
+        return (np.zeros(0, dtype=a_n.dtype), np.zeros(0, dtype=np.int32),
+                np.zeros(1, dtype=np.int32))
+    keep = min(k, n - 1) + 1  # k strongest plus the diagonal
+    # Column indices only hold values < n; indptr must hold nnz = n * keep,
+    # which can overflow int32 long before n does.
+    index_dtype = np.int32 if n <= np.iinfo(np.int32).max else np.int64
+    indptr_dtype = (np.int32 if n * keep <= np.iinfo(np.int32).max
+                    else np.int64)
+    data = np.empty((n, keep), dtype=a_n.dtype)
+    indices = np.empty((n, keep), dtype=index_dtype)
+    block_rows = min(block_rows, n)
+    buf = np.empty((block_rows, n), dtype=a_n.dtype)
+    a_t = a_n.T  # transposed view; BLAS consumes it without a copy
+    for start in range(0, n, block_rows):
+        stop = min(start + block_rows, n)
+        block = buf[: stop - start]
+        np.dot(a_n[start:stop], a_t, out=block)
+        np.clip(block, -1.0, 1.0, out=block)
+        if keep == n:
+            selected = np.broadcast_to(np.arange(n), block.shape)
+        else:
+            # Top-(keep) per row; the slice's first column is the weakest
+            # selected entry, which the diagonal displaces when absent.
+            selected = np.argpartition(block, n - keep, axis=1)[:, n - keep:]
+            diagonal = np.arange(start, stop)
+            has_diag = (selected == diagonal[:, None]).any(axis=1)
+            selected[~has_diag, 0] = diagonal[~has_diag]
+        rows = np.arange(stop - start)
+        order = np.sort(selected, axis=1)
+        indices[start:stop] = order
+        data[start:stop] = block[rows[:, None], order]
+    indptr = np.arange(n + 1, dtype=indptr_dtype) * indptr_dtype(keep)
+    return data.reshape(-1), indices.reshape(-1), indptr
 
 
 def sign(x: np.ndarray) -> np.ndarray:

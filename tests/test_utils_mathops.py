@@ -6,8 +6,9 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 from hypothesis.extra.numpy import array_shapes, arrays
 
-from repro.errors import ShapeError
+from repro.errors import ConfigurationError, ShapeError
 from repro.utils.mathops import (
+    blocked_topk_cosine,
     cosine_similarity_matrix,
     l2_normalize,
     pairwise_inner,
@@ -130,6 +131,72 @@ class TestPairwiseInner:
         a = np.random.default_rng(2).normal(size=(3, 5))
         b = np.random.default_rng(3).normal(size=(4, 5))
         np.testing.assert_allclose(pairwise_inner(a, b), a @ b.T)
+
+    def test_default_dtype_stays_float64(self):
+        a = np.ones((2, 3), dtype=np.float32)
+        assert pairwise_inner(a).dtype == np.float64
+
+    def test_dtype_passthrough_avoids_upcast(self):
+        a = np.random.default_rng(4).normal(size=(3, 5)).astype(np.float32)
+        out = pairwise_inner(a, dtype=np.float32)
+        assert out.dtype == np.float32
+        np.testing.assert_allclose(out, (a @ a.T), rtol=1e-6)
+
+
+class TestDtypePassthrough:
+    def test_l2_normalize_float32(self):
+        x = np.random.default_rng(5).normal(size=(4, 3)).astype(np.float32)
+        out = l2_normalize(x, dtype=np.float32)
+        assert out.dtype == np.float32
+        np.testing.assert_allclose(np.linalg.norm(out, axis=1), 1.0,
+                                   rtol=1e-6)
+
+    def test_cosine_matrix_float32(self):
+        x = np.random.default_rng(6).normal(size=(5, 4)).astype(np.float32)
+        out = cosine_similarity_matrix(x, dtype=np.float32)
+        assert out.dtype == np.float32
+        np.testing.assert_allclose(np.diag(out), 1.0, rtol=1e-6)
+
+    def test_cosine_matrix_default_unchanged(self):
+        x = np.random.default_rng(7).normal(size=(5, 4)).astype(np.float32)
+        assert cosine_similarity_matrix(x).dtype == np.float64
+
+
+class TestBlockedTopkCosine:
+    def test_full_k_matches_dense(self):
+        x = np.random.default_rng(8).normal(size=(20, 6))
+        data, indices, indptr = blocked_topk_cosine(x, 19)
+        dense = np.zeros((20, 20))
+        rows = np.repeat(np.arange(20), np.diff(indptr))
+        dense[rows, indices] = data
+        np.testing.assert_array_equal(dense, cosine_similarity_matrix(x))
+
+    def test_row_budget_and_sorted_columns(self):
+        x = np.random.default_rng(9).normal(size=(20, 6))
+        data, indices, indptr = blocked_topk_cosine(x, 4)
+        assert np.all(np.diff(indptr) == 5)  # k strongest + diagonal
+        for row in range(20):
+            cols = indices[indptr[row]:indptr[row + 1]]
+            assert np.all(np.diff(cols) > 0)
+            assert row in cols
+
+    def test_dtype_passthrough(self):
+        x = np.random.default_rng(10).normal(size=(8, 3))
+        data, _, _ = blocked_topk_cosine(x, 2, dtype=np.float32)
+        assert data.dtype == np.float32
+
+    def test_validation(self):
+        x = np.zeros((4, 2))
+        with pytest.raises(ConfigurationError):
+            blocked_topk_cosine(x, 0)
+        with pytest.raises(ConfigurationError):
+            blocked_topk_cosine(x, 2, block_rows=-1)
+
+    def test_empty_corpus_yields_empty_csr(self):
+        # Mirrors cosine_similarity_matrix's graceful (0, 0) result.
+        data, indices, indptr = blocked_topk_cosine(np.empty((0, 5)), 3)
+        assert data.shape == (0,) and indices.shape == (0,)
+        np.testing.assert_array_equal(indptr, [0])
 
 
 class TestStableExp:
