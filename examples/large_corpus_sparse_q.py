@@ -12,11 +12,19 @@ n², so the same corpus fits in a few hundred MB end to end:
 3. encode the corpus in bounded-memory chunks;
 4. stand the codes up behind the sharded `HashingService` and query it.
 
-Run:  python examples/large_corpus_sparse_q.py [n_rows]
+With ``--out-of-core`` the walkthrough goes one step further: the corpus
+itself lives in a memmapped file, Q streams straight into on-disk CSR
+buffers through an `ArtifactStore` streaming writer, and training/encoding
+copy only per-batch slices to RAM — peak heap stays roughly flat as
+``--rows`` grows, and the results are bit-identical to the in-memory run.
+
+Run:  python examples/large_corpus_sparse_q.py [--rows N] [--out-of-core]
 """
 
-import sys
+import argparse
+import tempfile
 import time
+from pathlib import Path
 
 import numpy as np
 
@@ -24,6 +32,7 @@ from repro.config import TrainConfig, UHSCMConfig
 from repro.core.hashing_network import HashingNetwork
 from repro.core.similarity_matrix import SparseTopKSimilarity
 from repro.core.trainer import UHSCMTrainer
+from repro.pipeline import ArtifactStore
 from repro.serving import HashingService
 
 N_ROWS = 50_000
@@ -33,34 +42,90 @@ TOP_K = 32
 N_BITS = 32
 
 
-def make_corpus(n_rows: int, rng: np.random.Generator) -> np.ndarray:
-    """Clustered unit-norm features standing in for a mined corpus."""
+def make_corpus(
+    n_rows: int, rng: np.random.Generator, out: np.ndarray | None = None
+) -> np.ndarray:
+    """Clustered unit-norm features standing in for a mined corpus.
+
+    ``out`` optionally receives the rows in place (a writable memmap for
+    the out-of-core path); generation streams in slices either way, so
+    the draws — and therefore the corpus — are identical for both modes.
+    """
     centers = rng.normal(size=(N_CLUSTERS, FEATURE_DIM))
-    assignment = rng.integers(0, N_CLUSTERS, size=n_rows)
-    features = centers[assignment] + 0.35 * rng.normal(
-        size=(n_rows, FEATURE_DIM)
+    features = np.empty((n_rows, FEATURE_DIM)) if out is None else out
+    step = 8192
+    for start in range(0, n_rows, step):
+        stop = min(start + step, n_rows)
+        assignment = rng.integers(0, N_CLUSTERS, size=stop - start)
+        rows = centers[assignment] + 0.35 * rng.normal(
+            size=(stop - start, FEATURE_DIM)
+        )
+        features[start:stop] = rows / np.linalg.norm(rows, axis=1,
+                                                     keepdims=True)
+    return features
+
+
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        description="sparse-Q large-corpus walkthrough"
     )
-    return features / np.linalg.norm(features, axis=1, keepdims=True)
+    parser.add_argument("--rows", type=int, default=N_ROWS,
+                        help=f"corpus rows (default {N_ROWS})")
+    parser.add_argument("--out-of-core", action="store_true",
+                        help="memmap the corpus and stream Q into on-disk "
+                             "CSR buffers (flat peak memory, identical "
+                             "results)")
+    return parser.parse_args()
 
 
 def main() -> None:
-    n_rows = int(sys.argv[1]) if len(sys.argv) > 1 else N_ROWS
+    args = parse_args()
+    n_rows = args.rows
     rng = np.random.default_rng(0)
-    features = make_corpus(n_rows, rng)
+    workdir = Path(tempfile.mkdtemp(prefix="repro-example-"))
+    if args.out_of_core:
+        corpus_map = np.lib.format.open_memmap(
+            workdir / "corpus.npy", mode="w+", dtype=np.float64,
+            shape=(n_rows, FEATURE_DIM),
+        )
+        features = make_corpus(n_rows, rng, out=corpus_map)
+        features.flush()
+        # Re-open read-only: downstream layers key chunking off np.memmap.
+        features = np.load(workdir / "corpus.npy", mmap_mode="r")
+    else:
+        features = make_corpus(n_rows, rng)
     dense_bytes = n_rows * n_rows * 8
-    print(f"corpus: {n_rows} rows x {FEATURE_DIM} dims "
+    mode = "out-of-core (memmapped)" if args.out_of_core else "in-memory"
+    print(f"corpus: {n_rows} rows x {FEATURE_DIM} dims, {mode} "
           f"(a dense Q would be {dense_bytes / 1e9:.1f} GB)")
 
     # 1. Sparse Q: k strongest cosine entries per row, built blockwise.
+    #    Out-of-core the CSR buffers are allocated by a store streaming
+    #    writer, so Q lands on disk as a memmapped raw artifact.
     t0 = time.perf_counter()
-    q = SparseTopKSimilarity.from_features(features, TOP_K)
+    if args.out_of_core:
+        store = ArtifactStore(workdir / "cache", mmap_threshold_bytes=0)
+        writer = store.streaming_writer("example-q", stage="build_q")
+        q = SparseTopKSimilarity.from_features_streaming(
+            features, TOP_K, writer.create
+        )
+        artifact = writer.commit({"rows": n_rows, "k": TOP_K})
+        q = SparseTopKSimilarity(
+            artifact.arrays["q_data"], artifact.arrays["q_indices"],
+            artifact.arrays["q_indptr"], n=n_rows, k=TOP_K,
+        )
+        residence = "on disk (memmapped)" if q.memmapped else "on the heap"
+    else:
+        q = SparseTopKSimilarity.from_features(features, TOP_K)
+        residence = "on the heap"
     print(f"sparse Q: built in {time.perf_counter() - t0:.1f}s, "
-          f"{q.nbytes / 1e6:.1f} MB on the heap "
+          f"{q.nbytes / 1e6:.1f} MB {residence} "
           f"({dense_bytes / q.nbytes:.0f}x smaller than dense)")
 
     # 2. Train the hash head against the CSR Q — the trainer gathers each
-    #    batch's t×t block from the sparse rows, so training memory is
-    #    O(batch²), independent of the corpus size.
+    #    batch's t×t block from the sparse rows (and, for a memmapped
+    #    corpus, copies only the batch's feature rows to the heap), so
+    #    training memory is O(batch²), independent of the corpus size.
     config = UHSCMConfig(
         n_bits=N_BITS,
         lam=0.5,
@@ -84,7 +149,8 @@ def main() -> None:
     print(f"encode: {codes.shape[0]} codes x {N_BITS} bits "
           f"in {time.perf_counter() - t0:.1f}s")
 
-    # 4. Serve: shard the codes, answer nearest-neighbor queries.
+    # 4. Serve: shard the codes, answer nearest-neighbor queries.  A
+    #    memmapped database encodes + registers chunk by chunk.
     service = HashingService(network, n_shards=4, max_batch=256)
     service.load_database(features)
     queries = make_corpus(5, rng)

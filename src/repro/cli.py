@@ -35,6 +35,15 @@ semantic similarity matrix Q in top-k CSR form (K strongest entries per
 row plus the diagonal) via the blocked pairwise-cosine kernel — O(n·K)
 memory instead of O(n²), exact when K >= n-1.
 
+``--out-of-core`` (on ``train`` / ``table1`` / ``table2`` / ``serve``)
+makes disk the primary residence of the large arrays: store artifacts at
+or above ``--mmap-threshold-bytes`` (default 32 MB when out-of-core is
+on) are written in the raw per-array format and come back as read-only
+memmaps, the sparse Q build streams straight into on-disk CSR buffers,
+and ``serve`` encodes + registers its database in bounded-memory chunks.
+Outputs are bit-identical to the in-memory paths and share their
+fingerprints, so the two modes replay each other's caches.
+
 ``serve`` stands up the online serving facade over a dataset's database
 split: the model comes from a persistence archive (``--model model.npz``),
 a store fingerprint published with ``--publish``, or a fresh in-process
@@ -66,6 +75,11 @@ from repro.datasets import DATASET_NAMES, load_dataset
 from repro.vlp import SimCLIP
 
 
+#: Raw-format routing threshold used by ``--out-of-core`` when the caller
+#: does not pick one explicitly with ``--mmap-threshold-bytes``.
+DEFAULT_MMAP_THRESHOLD = 32 * 1024 * 1024
+
+
 def default_cache_dir() -> Path:
     """The artifact-store location used when none is given explicitly."""
     return Path(os.environ.get("REPRO_CACHE_DIR", ".repro-cache"))
@@ -80,7 +94,10 @@ def _make_store(args: argparse.Namespace):
         return None
     from repro.pipeline import ArtifactStore
 
-    return ArtifactStore(cache_dir)
+    threshold = getattr(args, "mmap_threshold_bytes", None)
+    if threshold is None and getattr(args, "out_of_core", False):
+        threshold = DEFAULT_MMAP_THRESHOLD
+    return ArtifactStore(cache_dir, mmap_threshold_bytes=threshold)
 
 
 def _print_store_summary(store) -> None:
@@ -113,6 +130,21 @@ def _add_sparse_topk(parser: argparse.ArgumentParser) -> None:
                              "default: dense paper-parity Q)")
 
 
+def _add_out_of_core(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--out-of-core", action="store_true",
+                        help="disk-resident large arrays: big store "
+                             "artifacts become memmapped raw archives, the "
+                             "sparse Q build streams into on-disk CSR "
+                             "buffers, and serving encodes in chunks "
+                             "(bit-identical outputs; most effective with "
+                             "--cache-dir and --sparse-topk)")
+    parser.add_argument("--mmap-threshold-bytes", type=int, default=None,
+                        metavar="BYTES",
+                        help="route store artifacts at or above this many "
+                             "bytes to the memmapped raw format (0 = all; "
+                             "default: 32 MB when --out-of-core, else off)")
+
+
 def _cmd_train(args: argparse.Namespace) -> int:
     from dataclasses import replace
 
@@ -126,6 +158,8 @@ def _cmd_train(args: argparse.Namespace) -> int:
     config = paper_config(args.dataset, n_bits=args.bits, seed=args.seed)
     if args.sparse_topk is not None:
         config = replace(config, sparse_topk=args.sparse_topk)
+    if args.out_of_core:
+        config = replace(config, out_of_core=True)
     model = UHSCM(config, clip=clip)
     model.fit(data.train_images, store=store,
               data_key=dataset_key(args.dataset, args.scale, args.seed))
@@ -239,10 +273,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         data.database_images,
         key=dataset_key(args.dataset, args.scale, args.seed,
                         split="database"),
+        chunk_size=HashingService.DB_CHUNK if args.out_of_core else None,
     )
-    warm = service.stats()["database"]["warm_loads"]
+    db_stats = service.stats()["database"]
+    how = "warm snapshot load" if db_stats["warm_loads"] else "cold encode"
+    if db_stats["snapshot_mmapped"]:
+        how += ", codes memmapped"
     print(f"index ready: {len(service)} rows in {args.shards} shard(s) "
-          f"({'warm snapshot load' if warm else 'cold encode'})")
+          f"({how})")
 
     def answer(rows: np.ndarray, top_k: int) -> None:
         ids, dist = service.query(rows, top_k=top_k)
@@ -462,7 +500,8 @@ def _cmd_table1(args: argparse.Namespace) -> int:
     table = run_table1(scale=args.scale, bit_lengths=tuple(args.bits),
                        datasets=(args.dataset,), seed=args.seed,
                        epochs=args.epochs, store=store,
-                       sparse_topk=args.sparse_topk)
+                       sparse_topk=args.sparse_topk,
+                       out_of_core=args.out_of_core)
     print(table.render())
     _print_store_summary(store)
     return 0
@@ -475,7 +514,8 @@ def _cmd_table2(args: argparse.Namespace) -> int:
     table = run_table2(scale=args.scale, bit_lengths=tuple(args.bits),
                        datasets=(args.dataset,), seed=args.seed,
                        epochs=args.epochs, store=store,
-                       sparse_topk=args.sparse_topk)
+                       sparse_topk=args.sparse_topk,
+                       out_of_core=args.out_of_core)
     print(table.render())
     _print_store_summary(store)
     return 0
@@ -505,7 +545,10 @@ def _cmd_cache(args: argparse.Namespace) -> int:
           f"{stats['disk_bytes'] / 1e6:.1f} MB")
     for stage, counts in sorted(stats["stages"].items()):
         print(f"  stage {stage:<8}: {counts['hits']} hits, "
-              f"{counts['misses']} misses")
+              f"{counts['misses']} misses, "
+              f"{counts['evictions']} evictions, "
+              f"{counts['disk_entries']} on disk "
+              f"({counts['disk_bytes'] / 1e6:.1f} MB)")
     return 0
 
 
@@ -526,6 +569,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(p_train)
     _add_cache_dir(p_train)
     _add_sparse_topk(p_train)
+    _add_out_of_core(p_train)
     p_train.add_argument("--bits", type=int, default=64)
     p_train.add_argument("--out", default=None, help="save model here (.npz)")
     p_train.set_defaults(func=_cmd_train)
@@ -563,6 +607,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_common(p_serve)
     _add_cache_dir(p_serve)
+    _add_out_of_core(p_serve)
     p_serve.add_argument("--model", default=None,
                          help="model source: persistence archive path or "
                               "store fingerprint (default: train fresh)")
@@ -640,6 +685,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(p_t1)
     _add_cache_dir(p_t1)
     _add_sparse_topk(p_t1)
+    _add_out_of_core(p_t1)
     p_t1.add_argument("--bits", type=int, nargs="+",
                       default=list(PAPER_BIT_LENGTHS))
     p_t1.add_argument("--epochs", type=int, default=None,
@@ -653,6 +699,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(p_t2)
     _add_cache_dir(p_t2)
     _add_sparse_topk(p_t2)
+    _add_out_of_core(p_t2)
     p_t2.add_argument("--bits", type=int, nargs="+", default=[32, 64])
     p_t2.add_argument("--epochs", type=int, default=None,
                       help="override training epochs (reproduction scale)")

@@ -106,6 +106,14 @@ class UHSCMConfig:
         rows.  ``None`` (default) keeps the dense paper-parity path.
         With ``sparse_topk >= n - 1`` the sparse Q is exact; smaller k is
         an approximation that zeroes the weakest similarities.
+    out_of_core:
+        Execution policy, not a model hyper-parameter: when True (and the
+        pipeline runs staged against a disk-backed store with
+        ``sparse_topk`` set), the CSR Q is built by the streaming kernel
+        directly into on-disk buffers and consumed as memmaps, so the
+        largest arrays never reside wholly in RAM.  Outputs are
+        bit-identical to the in-memory path, so this flag never enters
+        fingerprints.
     prompt_template:
         Template used to turn a concept into text for the VLP model.
     train:
@@ -122,6 +130,7 @@ class UHSCMConfig:
     tau_scale: float = 1.0
     denoise: bool = True
     sparse_topk: int | None = None
+    out_of_core: bool = False
     prompt_template: str = DEFAULT_PROMPT_TEMPLATE
     train: TrainConfig = field(default_factory=TrainConfig)
     seed: int = 0
@@ -163,6 +172,9 @@ class UHSCMConfig:
         payload = asdict(self)
         if payload.get("sparse_topk") is None:
             del payload["sparse_topk"]
+        # Residency policy, not math: in-core and out-of-core runs produce
+        # bit-identical artifacts, so they must share fingerprints.
+        payload.pop("out_of_core", None)
         return payload
 
     def tau(self, n_concepts: int) -> float:

@@ -32,6 +32,7 @@ from repro.pipeline import (
     Stage,
     canonical,
     run_stage,
+    run_stage_streaming,
 )
 from repro.utils.mathops import cosine_similarity_matrix
 from repro.vlp.clip import SimCLIP
@@ -69,6 +70,46 @@ def _q_payload(
     """The build_q artifact body for either Q form (dense layout unchanged)."""
     q_meta, q_arrays = as_similarity_matrix(matrix).payload()
     return {"concepts": list(concepts), **q_meta}, q_arrays
+
+
+def _run_build_q(
+    store: ArtifactStore,
+    stage,
+    get_features,
+    concepts,
+    sparse_topk: int | None,
+    out_of_core: bool,
+):
+    """Execute a build_q stage, streaming CSR buffers to disk when asked.
+
+    ``get_features`` is a zero-arg callable returning the (n, m) feature
+    rows Q is built from; it only runs on a cache miss.  The streaming
+    route needs the sparse form and a disk-backed store; anything else
+    falls back to the heap build.  Both routes share the stage fingerprint
+    and produce bit-identical payloads, so they replay each other's cached
+    artifacts freely.
+    """
+    if (out_of_core and sparse_topk is not None
+            and store.cache_dir is not None):
+
+        def build(writer) -> dict:
+            matrix = SparseTopKSimilarity.from_features_streaming(
+                get_features(), sparse_topk, writer.create
+            )
+            meta, _ = matrix.payload()
+            return {"concepts": list(concepts), **meta}
+
+        return run_stage_streaming(store, stage, build)
+    return run_stage(
+        store,
+        stage,
+        lambda: _q_payload(
+            similarity_from_distributions(
+                get_features(), sparse_topk=sparse_topk
+            ),
+            concepts,
+        ),
+    )
 
 
 def _sparsity_params(sparse_topk: int | None) -> dict:
@@ -124,6 +165,12 @@ class SemanticSimilarityGenerator:
         the top-k CSR form via the blocked kernel instead (exact for
         ``k >= n - 1``, a weak-pair truncation below that).  Incompatible
         with template averaging, which needs dense matrices to mix.
+    out_of_core:
+        Residency policy for staged sparse builds: the CSR Q streams
+        straight into on-disk artifact buffers (and comes back as memmap
+        views) instead of passing through the heap.  Ignored — with
+        identical outputs — on the dense, unstaged, or memory-only-store
+        paths.
     """
 
     def __init__(
@@ -134,6 +181,7 @@ class SemanticSimilarityGenerator:
         tau_scale: float = 1.0,
         denoise: bool = True,
         sparse_topk: int | None = None,
+        out_of_core: bool = False,
     ) -> None:
         if not concepts:
             raise ConfigurationError("candidate concept set is empty")
@@ -150,6 +198,7 @@ class SemanticSimilarityGenerator:
         self.tau_scale = tau_scale
         self.denoise = denoise
         self.sparse_topk = sparse_topk
+        self.out_of_core = out_of_core
 
     def _generate_single(
         self, images: np.ndarray, template: PromptTemplate | str | None
@@ -247,15 +296,9 @@ class SemanticSimilarityGenerator:
             inputs=(upstream.fingerprint,),
         )
         final_distributions = distributions
-        q_art = run_stage(
-            store,
-            q_stage,
-            lambda: _q_payload(
-                similarity_from_distributions(
-                    final_distributions, sparse_topk=self.sparse_topk
-                ),
-                concepts,
-            ),
+        q_art = _run_build_q(
+            store, q_stage, lambda: final_distributions, concepts,
+            self.sparse_topk, self.out_of_core,
         )
         return SimilarityResult(
             matrix=similarity_from_payload(q_art.meta, q_art.arrays),
@@ -326,12 +369,21 @@ class ImageFeatureSimilarityGenerator:
     (SSDH / MLS3RDUH style) that the paper argues against.  ``sparse_topk``
     selects the top-k CSR form exactly as in
     :class:`SemanticSimilarityGenerator` — raw-feature Q is the generator
-    large corpora actually hit (no mining bottleneck), so it scales too.
+    large corpora actually hit (no mining bottleneck), so it scales too —
+    and ``out_of_core`` additionally streams the staged sparse build into
+    disk-resident CSR buffers, as in
+    :class:`SemanticSimilarityGenerator`.
     """
 
-    def __init__(self, clip: SimCLIP, sparse_topk: int | None = None) -> None:
+    def __init__(
+        self,
+        clip: SimCLIP,
+        sparse_topk: int | None = None,
+        out_of_core: bool = False,
+    ) -> None:
         self.clip = clip
         self.sparse_topk = sparse_topk
+        self.out_of_core = out_of_core
 
     def _build_matrix(
         self, images: np.ndarray
@@ -357,9 +409,18 @@ class ImageFeatureSimilarityGenerator:
                     **_sparsity_params(self.sparse_topk),
                 },
             )
-            art = run_stage(
-                store, stage, lambda: _q_payload(self._build_matrix(images), ())
-            )
+            if (self.out_of_core and self.sparse_topk is not None
+                    and store.cache_dir is not None):
+                art = _run_build_q(
+                    store, stage,
+                    lambda: self.clip.image_features(images), (),
+                    self.sparse_topk, self.out_of_core,
+                )
+            else:
+                art = run_stage(
+                    store, stage,
+                    lambda: _q_payload(self._build_matrix(images), ()),
+                )
             return SimilarityResult(
                 matrix=similarity_from_payload(art.meta, art.arrays),
                 concepts=(),

@@ -24,7 +24,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ConfigurationError, ShapeError
-from repro.utils.mathops import blocked_topk_cosine
+from repro.utils.mathops import blocked_topk_cosine, streaming_topk_cosine
 
 #: ``meta`` key identifying the payload layout of a stored Q.
 PAYLOAD_FORMAT_KEY = "q_format"
@@ -126,6 +126,11 @@ class SparseTopKSimilarity(SimilarityMatrix):
     a row read as 0.0 — for a cosine Q over concept distributions the weak
     entries are near zero anyway, which is what makes the truncation a
     controlled approximation (and exact once ``k >= n - 1``).
+
+    The CSR components may be memmaps (a Q replayed from a raw-format
+    store artifact): every operation works unchanged, and because
+    :meth:`gather` touches only the O(t · k) entries of a batch, training
+    streams Q from disk page by page instead of holding it on the heap.
     """
 
     def __init__(
@@ -136,9 +141,14 @@ class SparseTopKSimilarity(SimilarityMatrix):
         n: int,
         k: int,
     ) -> None:
-        data = np.asarray(data)
-        indices = np.asarray(indices)
-        indptr = np.asarray(indptr)
+        # np.asarray would silently strip the memmap subclass (the view
+        # would stay disk-backed, but residency reporting relies on the
+        # type); only coerce things that are not already ndarrays.
+        data = data if isinstance(data, np.ndarray) else np.asarray(data)
+        indices = (indices if isinstance(indices, np.ndarray)
+                   else np.asarray(indices))
+        indptr = (indptr if isinstance(indptr, np.ndarray)
+                  else np.asarray(indptr))
         if data.ndim != 1 or indices.ndim != 1 or indptr.ndim != 1:
             raise ShapeError("CSR components must be 1-D arrays")
         if data.shape != indices.shape:
@@ -176,6 +186,36 @@ class SparseTopKSimilarity(SimilarityMatrix):
             features, k, block_rows=block_rows, dtype=dtype
         )
         return cls(data, indices, indptr, n=features.shape[0], k=k)
+
+    @classmethod
+    def from_features_streaming(
+        cls,
+        features: np.ndarray,
+        k: int,
+        create_array,
+        block_rows: int = 512,
+        dtype: np.dtype | str | None = None,
+        max_block_bytes: int = 256 * 1024 * 1024,
+    ) -> "SparseTopKSimilarity":
+        """Out-of-core build: CSR buffers allocated via ``create_array``.
+
+        ``create_array(name, shape, dtype)`` supplies the (typically
+        disk-resident) destination arrays — see
+        :func:`repro.utils.mathops.streaming_topk_cosine`, which this
+        wraps.  Values are bit-identical to :meth:`from_features` at equal
+        effective block height.
+        """
+        features = np.atleast_2d(features)
+        data, indices, indptr = streaming_topk_cosine(
+            features, k, create_array, block_rows=block_rows, dtype=dtype,
+            max_block_bytes=max_block_bytes,
+        )
+        return cls(data, indices, indptr, n=features.shape[0], k=k)
+
+    @property
+    def memmapped(self) -> bool:
+        """Whether the CSR value array is a disk-backed memmap view."""
+        return isinstance(self.data, np.memmap)
 
     @property
     def shape(self) -> tuple[int, int]:

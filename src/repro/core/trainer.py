@@ -108,16 +108,25 @@ class UHSCMTrainer:
         Parameters
         ----------
         inputs:
-            Network-ready training inputs (features or raw images), length n.
+            Network-ready training inputs (features or raw images), length
+            n.  A memmap is consumed in place: only each mini-batch's rows
+            are copied (and cast) to the heap, so a disk-resident corpus
+            trains in O(batch) memory.
         similarity:
             The (n, n) semantic similarity matrix Q — a dense array or any
             :class:`~repro.core.similarity_matrix.SimilarityMatrix` (the
             top-k CSR form trains without ever densifying beyond the t×t
-            batch block).
+            batch block; its CSR components may themselves be memmaps).
         epochs:
             Override for ``config.train.epochs``.
         """
-        inputs = np.asarray(inputs, dtype=self.dtype)
+        if not isinstance(inputs, np.memmap):
+            # The historical path: one upfront cast.  For a memmap this
+            # would materialize the whole corpus on the heap; instead each
+            # batch gather below casts its own rows (bit-identical — a
+            # dtype cast is elementwise, so cast-then-slice == slice-then-
+            # cast).
+            inputs = np.asarray(inputs, dtype=self.dtype)
         n = inputs.shape[0]
         if similarity.shape != (n, n):
             raise ConfigurationError(
@@ -143,10 +152,14 @@ class UHSCMTrainer:
                 # sparse Q densifies its stored batch entries into a zero
                 # block.  Either way only O(t²) is materialized per step.
                 q_batch = similarity.gather(idx)
+                # Fancy indexing copies the batch rows to the heap either
+                # way; the explicit cast only matters for the memmap path,
+                # whose rows still carry the on-disk dtype.
+                batch = np.asarray(inputs[idx], dtype=self.dtype)
                 if self.contrastive == "mcl":
-                    breakdown = self._step_mcl(inputs[idx], q_batch)
+                    breakdown = self._step_mcl(batch, q_batch)
                 else:
-                    breakdown = self._step_cib(inputs[idx], q_batch)
+                    breakdown = self._step_cib(batch, q_batch)
                 breakdowns.append(breakdown)
             history.append_epoch(breakdowns)
         return history

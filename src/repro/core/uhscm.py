@@ -68,6 +68,9 @@ class UHSCM:
         ``conv`` (end-to-end VGG-style training on raw images).
     """
 
+    #: Default inference chunk for memmapped inputs (rows per heap slice).
+    MEMMAP_CHUNK = 8192
+
     def __init__(
         self,
         config: UHSCMConfig | None = None,
@@ -90,6 +93,7 @@ class UHSCM:
                 tau_scale=self.config.tau_scale,
                 denoise=self.config.denoise,
                 sparse_topk=self.config.sparse_topk,
+                out_of_core=self.config.out_of_core,
             )
         )
         self.network_mode = network_mode
@@ -154,7 +158,10 @@ class UHSCM:
         configuration already trained to completion.
         """
         store = store if store is not None else self.store
-        images = np.asarray(images, dtype=np.float64)
+        if not isinstance(images, np.memmap):
+            # A memmapped corpus stays disk-resident; downstream consumers
+            # (feature extraction, the trainer) slice and cast per batch.
+            images = np.asarray(images, dtype=np.float64)
         staged = store is not None and data_key is not None
         if similarity is None:
             if staged:
@@ -258,12 +265,18 @@ class UHSCM:
         chunk — so a float32-trained network never pays the old
         unconditional float64 round trip.  ``chunk_size=None`` processes
         everything in one call (the network still micro-batches
-        internally); chunked and monolithic results are identical because
-        every row's forward pass is independent in eval mode.
+        internally) — unless ``images`` is a memmap, which defaults to
+        :attr:`MEMMAP_CHUNK` rows per chunk so a disk-resident corpus is
+        never materialized whole.  Chunked and monolithic results are
+        identical because every row's forward pass is independent in eval
+        mode.
         """
         assert self.network is not None
         dtype = self.network.dtype
-        images = np.asarray(images)
+        if not isinstance(images, np.memmap):
+            images = np.asarray(images)
+        elif chunk_size is None:
+            chunk_size = self.MEMMAP_CHUNK
         if chunk_size is None or images.shape[0] == 0:
             return fn(np.asarray(images, dtype=dtype))
         if chunk_size <= 0:

@@ -73,6 +73,9 @@ class ExperimentContext:
     #: Top-k sparse Q for UHSCM fits (None = dense paper-parity Q); see
     #: :attr:`repro.config.UHSCMConfig.sparse_topk`.
     sparse_topk: int | None = None
+    #: Out-of-core residency for sparse staged builds (bit-identical outputs,
+    #: never fingerprinted); see :attr:`repro.config.UHSCMConfig.out_of_core`.
+    out_of_core: bool = False
     dataset: HashingDataset = field(init=False)
     clip: SimCLIP = field(init=False)
     _cache: dict[tuple[str, int], FitResult] = field(default_factory=dict)
@@ -138,6 +141,8 @@ class ExperimentContext:
                                                    epochs=self.epochs))
         if self.sparse_topk is not None:
             config = replace(config, sparse_topk=self.sparse_topk)
+        if self.out_of_core:
+            config = replace(config, out_of_core=True)
         return config
 
     def build_variant(self, key: str, n_bits: int) -> UHSCM:
@@ -253,12 +258,14 @@ def make_contexts(
     epochs: int | None = None,
     store: ArtifactStore | None = None,
     sparse_topk: int | None = None,
+    out_of_core: bool = False,
 ) -> dict[str, ExperimentContext]:
     """Build one context per dataset."""
     if not datasets:
         raise ConfigurationError("no datasets requested")
     return {
         name: ExperimentContext(name, scale=scale, seed=seed, epochs=epochs,
-                                store=store, sparse_topk=sparse_topk)
+                                store=store, sparse_topk=sparse_topk,
+                                out_of_core=out_of_core)
         for name in datasets
     }

@@ -41,6 +41,7 @@ def run_table2(
     epochs: int | None = None,
     store=None,
     sparse_topk: int | None = None,
+    out_of_core: bool = False,
 ) -> MapTable:
     """Regenerate Table 2 (variant ablations) at the requested scale.
 
@@ -48,11 +49,14 @@ def run_table2(
     ``ours`` / ``wo_mcl`` / ``cl``, which differ only on the training side)
     reuse one mined Q per dataset, and finished cells replay on resume.
     ``sparse_topk`` routes the UHSCM-family variants through the top-k CSR
-    Q engine (the ``avg`` variant requires dense Q and rejects it).
+    Q engine (the ``avg`` variant requires dense Q and rejects it);
+    ``out_of_core`` streams those builds through disk-resident buffers
+    without changing any cell.
     """
     table = MapTable(title="Table 2: MAPs of UHSCM and its variants")
     contexts = make_contexts(datasets, scale=scale, seed=seed, epochs=epochs,
-                             store=store, sparse_topk=sparse_topk)
+                             store=store, sparse_topk=sparse_topk,
+                             out_of_core=out_of_core)
     for dataset, ctx in contexts.items():
         for bits in bit_lengths:
             for key in variants:

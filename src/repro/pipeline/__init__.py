@@ -24,12 +24,16 @@ from repro.pipeline.stages import (
     Stage,
     dataset_key,
     run_stage,
+    run_stage_streaming,
 )
 from repro.pipeline.store import (
     Artifact,
     ArtifactStore,
+    StreamingArtifactWriter,
     read_archive,
+    read_raw_archive,
     write_archive,
+    write_raw_archive,
 )
 
 __all__ = [
@@ -41,12 +45,16 @@ __all__ = [
     "ENCODE",
     "MINE",
     "Stage",
+    "StreamingArtifactWriter",
     "TRAIN",
     "array_fingerprint",
     "canonical",
     "dataset_key",
     "fingerprint",
     "read_archive",
+    "read_raw_archive",
     "run_stage",
+    "run_stage_streaming",
     "write_archive",
+    "write_raw_archive",
 ]

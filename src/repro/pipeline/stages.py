@@ -34,7 +34,11 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.pipeline.fingerprint import CODE_FORMAT_VERSION, fingerprint
-from repro.pipeline.store import Artifact, ArtifactStore
+from repro.pipeline.store import (
+    Artifact,
+    ArtifactStore,
+    StreamingArtifactWriter,
+)
 
 #: Canonical Algorithm-1 stage names.
 MINE = "mine"
@@ -89,6 +93,37 @@ def run_stage(
     if store is not None:
         return store.put(key, meta, arrays, stage=stage.name)
     return Artifact(key=key, meta=dict(meta), arrays=dict(arrays))
+
+
+#: A streaming stage builder fills arrays through the writer's ``create``
+#: and returns only the artifact meta; the arrays never live on the heap.
+StreamingStageBuilder = Callable[["StreamingArtifactWriter"], dict]
+
+
+def run_stage_streaming(
+    store: ArtifactStore, stage: Stage, build: StreamingStageBuilder
+) -> Artifact:
+    """Replay ``stage`` from the store, or build it straight onto disk.
+
+    The out-of-core sibling of :func:`run_stage` for artifacts too large to
+    assemble on the heap: on a miss, ``build`` receives a
+    :class:`~repro.pipeline.store.StreamingArtifactWriter`, allocates its
+    output arrays with ``writer.create(name, shape, dtype)`` (each a
+    writable memmap it fills block by block), and returns the artifact
+    meta.  The committed artifact — like a replayed one — exposes its
+    arrays as read-only memmap views.  Requires a disk-backed store.
+    """
+    key = stage.fingerprint
+    cached = store.get(key, stage=stage.name)
+    if cached is not None:
+        return cached
+    writer = store.streaming_writer(key, stage=stage.name)
+    try:
+        meta = build(writer)
+    except BaseException:
+        writer.abort()
+        raise
+    return writer.commit(meta)
 
 
 def dataset_key(

@@ -12,9 +12,22 @@ is a bounded in-memory LRU over an optional on-disk layer:
   as the LRU clock; eviction removes the stalest archives once
   ``max_entries`` / ``max_bytes`` is exceeded.
 
+Large artifacts additionally have a **raw** on-disk format — a
+``<key>.raw/`` directory holding one ``.npy`` file per array plus a
+``meta.json`` manifest — whose arrays come back from :meth:`ArtifactStore.get`
+as read-only ``np.memmap`` views instead of heap copies, so K processes
+reading the same artifact share one physical copy of the pages.  ``put``
+routes an artifact to the raw format once its arrays reach
+``mmap_threshold_bytes``; :class:`StreamingArtifactWriter` builds a raw
+artifact array-by-array directly on disk so it never exists on the heap at
+all.  Raw directories are written atomically too (tmp dir + rename) and
+participate in the same LRU eviction.
+
 Hit/miss/put/eviction counters are kept per stage and — with a disk layer —
 persisted to ``<cache_dir>/stats.json`` after every event, so ``repro.cli
-cache stats`` reports on runs that died mid-flight.
+cache stats`` reports on runs that died mid-flight.  The stats file also
+remembers which stage owns each key, which is what lets ``cache stats``
+attribute on-disk bytes and evictions per stage.
 
 The archive format (``__meta__`` JSON row + named arrays in one ``.npz``)
 is shared with :mod:`repro.core.persistence`, which is a thin client of
@@ -25,6 +38,7 @@ from __future__ import annotations
 
 import json
 import os
+import shutil
 import tempfile
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -35,6 +49,9 @@ import numpy as np
 from repro.errors import ConfigurationError
 
 _META_KEY = "__meta__"
+
+#: Manifest filename inside a raw-format artifact directory.
+_RAW_MANIFEST = "meta.json"
 
 
 # -- archive (de)serialization ------------------------------------------------
@@ -80,6 +97,57 @@ def read_archive(path: str | Path) -> tuple[dict, dict[str, np.ndarray]]:
     return meta, arrays
 
 
+def write_raw_archive(
+    path: str | Path, meta: dict, arrays: dict[str, np.ndarray]
+) -> Path:
+    """Atomically write ``meta`` + ``arrays`` as a raw-format directory.
+
+    Layout: one ``.npy`` file per array plus a ``meta.json`` manifest
+    mapping array names (which may contain characters illegal in
+    filenames, e.g. ``param/w0``) to their files.  The directory is
+    assembled under a ``.tmp`` sibling and renamed into place, so readers
+    never observe a half-written artifact.
+    """
+    path = Path(path)
+    tmp = Path(tempfile.mkdtemp(dir=path.parent, prefix=path.name + ".",
+                                suffix=".tmp"))
+    try:
+        files = {name: f"a{i}.npy" for i, name in enumerate(sorted(arrays))}
+        for name, filename in files.items():
+            np.save(tmp / filename, np.asarray(arrays[name]))
+        (tmp / _RAW_MANIFEST).write_text(
+            json.dumps({"meta": meta, "arrays": files})
+        )
+        if path.exists():
+            shutil.rmtree(path)
+        os.rename(tmp, path)
+    except BaseException:
+        shutil.rmtree(tmp, ignore_errors=True)
+        raise
+    return path
+
+
+def read_raw_archive(
+    path: str | Path, mmap: bool = True
+) -> tuple[dict, dict[str, np.ndarray]]:
+    """Read a raw-format artifact directory.
+
+    With ``mmap=True`` (the default) every array comes back as a read-only
+    ``np.memmap`` view — the page cache, not the heap, holds the data, and
+    concurrent readers share one physical copy.
+    """
+    path = Path(path)
+    manifest_path = path / _RAW_MANIFEST
+    if not manifest_path.exists():
+        raise ConfigurationError(f"not a raw repro artifact: {path}")
+    manifest = json.loads(manifest_path.read_text())
+    arrays = {
+        name: np.load(path / filename, mmap_mode="r" if mmap else None)
+        for name, filename in manifest["arrays"].items()
+    }
+    return manifest["meta"], arrays
+
+
 # -- the store ----------------------------------------------------------------
 
 
@@ -107,6 +175,15 @@ class ArtifactStore:
         Bounds of the in-memory LRU layer (always bounded); an artifact
         whose arrays alone exceed ``memory_bytes`` is served from disk
         only, so table-scale Q matrices do not stay pinned in RAM.
+    mmap_threshold_bytes:
+        Out-of-core policy (requires ``cache_dir``): an artifact whose
+        arrays total at least this many bytes is written in the raw
+        format and read back as ``np.memmap`` views instead of heap
+        copies.  ``None`` (default) keeps every put in the ``.npz``
+        format; ``0`` routes everything through the raw format.  Raw
+        artifacts already on disk are always memmapped on read,
+        whatever the threshold — the format, not the policy, decides
+        residency.
     """
 
     def __init__(
@@ -116,7 +193,18 @@ class ArtifactStore:
         max_bytes: int | None = None,
         memory_entries: int = 64,
         memory_bytes: int = 256 * 1024 * 1024,
+        mmap_threshold_bytes: int | None = None,
     ) -> None:
+        if mmap_threshold_bytes is not None:
+            if mmap_threshold_bytes < 0:
+                raise ConfigurationError(
+                    f"mmap_threshold_bytes must be >= 0: {mmap_threshold_bytes}"
+                )
+            if cache_dir is None:
+                raise ConfigurationError(
+                    "mmap_threshold_bytes requires a cache_dir (memmapped "
+                    "artifacts live on disk)"
+                )
         if memory_entries < 0:
             raise ConfigurationError(
                 f"memory_entries must be >= 0: {memory_entries}"
@@ -134,22 +222,26 @@ class ArtifactStore:
         self.max_bytes = max_bytes
         self.memory_entries = memory_entries
         self.memory_bytes = memory_bytes
+        self.mmap_threshold_bytes = mmap_threshold_bytes
         self._memory: OrderedDict[str, Artifact] = OrderedDict()
         self._memory_used = 0
         self._stats: dict = {"hits": 0, "misses": 0, "puts": 0,
-                             "evictions": 0, "stages": {}}
+                             "evictions": 0, "stages": {}, "key_stages": {}}
         if self.cache_dir is not None:
             self._objects_dir.mkdir(parents=True, exist_ok=True)
             self._sweep_orphans()
             self._load_stats()
 
     def _sweep_orphans(self) -> None:
-        """Remove temp files a killed process left behind mid-write."""
+        """Remove temp files/dirs a killed process left behind mid-write."""
         assert self.cache_dir is not None
         for directory in (self.cache_dir, self._objects_dir):
             for orphan in directory.glob("*.tmp"):
                 try:
-                    orphan.unlink()
+                    if orphan.is_dir():
+                        shutil.rmtree(orphan, ignore_errors=True)
+                    else:
+                        orphan.unlink()
                 except OSError:
                     pass
 
@@ -168,6 +260,9 @@ class ArtifactStore:
     def _object_path(self, key: str) -> Path:
         return self._objects_dir / f"{key}.npz"
 
+    def _raw_path(self, key: str) -> Path:
+        return self._objects_dir / f"{key}.raw"
+
     # -- stats -------------------------------------------------------------
 
     def _load_stats(self) -> None:
@@ -181,6 +276,8 @@ class ArtifactStore:
                     self._stats[field_name] = loaded[field_name]
             if isinstance(loaded.get("stages"), dict):
                 self._stats["stages"] = loaded["stages"]
+            if isinstance(loaded.get("key_stages"), dict):
+                self._stats["key_stages"] = loaded["key_stages"]
 
     def _save_stats(self) -> None:
         if self.cache_dir is None:
@@ -190,57 +287,96 @@ class ArtifactStore:
             json.dump(self._stats, handle, indent=1)
         os.replace(tmp_name, self._stats_path)
 
+    def _stage_counters(self, stage: str) -> dict:
+        per = self._stats["stages"].setdefault(
+            stage, {"hits": 0, "misses": 0, "puts": 0}
+        )
+        # Stats files written before per-stage eviction tracking carry no
+        # "evictions" key; backfill so increments never KeyError.
+        per.setdefault("evictions", 0)
+        return per
+
     def _record(self, event: str, stage: str | None) -> None:
         self._stats[event] += 1
         if stage is not None:
-            per = self._stats["stages"].setdefault(
-                stage, {"hits": 0, "misses": 0, "puts": 0}
-            )
+            per = self._stage_counters(stage)
             if event in per:
                 per[event] += 1
         self._save_stats()
 
+    def _note_owner(self, key: str, stage: str | None) -> None:
+        """Remember which stage owns ``key`` (for per-stage disk stats)."""
+        if stage is not None:
+            self._stats["key_stages"][key] = stage
+
     def stats(self) -> dict:
-        """Cumulative counters plus current disk occupancy."""
+        """Cumulative counters plus current disk occupancy.
+
+        Per-stage entries carry their hit/miss/put/eviction counters plus
+        the current ``disk_entries`` / ``disk_bytes`` attributable to keys
+        that stage put (keys stored without a stage label fall outside the
+        per-stage disk split but still count in the totals).
+        """
+        stages = {
+            name: {"evictions": 0, **dict(counts)}
+            for name, counts in self._stats["stages"].items()
+        }
+        for per in stages.values():
+            per.setdefault("disk_entries", 0)
+            per.setdefault("disk_bytes", 0)
         out = {
             "hits": self._stats["hits"],
             "misses": self._stats["misses"],
             "puts": self._stats["puts"],
             "evictions": self._stats["evictions"],
-            "stages": {k: dict(v) for k, v in self._stats["stages"].items()},
+            "stages": stages,
             "memory_entries": len(self._memory),
             "disk_entries": 0,
             "disk_bytes": 0,
         }
-        for _, size, _ in self._disk_listing():
+        key_stages = self._stats["key_stages"]
+        for path, size, _ in self._disk_listing():
             out["disk_entries"] += 1
             out["disk_bytes"] += size
+            stage = key_stages.get(path.stem)
+            if stage is not None and stage in stages:
+                stages[stage]["disk_entries"] += 1
+                stages[stage]["disk_bytes"] += size
         return out
 
     # -- core operations ---------------------------------------------------
 
     def get(self, key: str, stage: str | None = None) -> Artifact | None:
-        """Look ``key`` up in memory, then on disk; ``None`` on miss."""
+        """Look ``key`` up in memory, then on disk; ``None`` on miss.
+
+        A raw-format hit returns read-only ``np.memmap`` array views (disk
+        stays the residence of the data); an ``.npz`` hit returns heap
+        arrays exactly as before.
+        """
         artifact = self._memory.get(key)
         if artifact is not None:
             self._memory.move_to_end(key)
             self._record("hits", stage)
             return artifact
         if self.cache_dir is not None:
-            path = self._object_path(key)
-            if path.exists():
+            for path, reader in (
+                (self._raw_path(key), read_raw_archive),
+                (self._object_path(key), read_archive),
+            ):
+                if not path.exists():
+                    continue
                 try:
-                    meta, arrays = read_archive(path)
+                    meta, arrays = reader(path)
                 except (ConfigurationError, OSError, ValueError):
-                    # A corrupt archive (interrupted disk, manual edit) is
+                    # A corrupt artifact (interrupted disk, manual edit) is
                     # treated as a miss and recomputed over.
-                    path.unlink(missing_ok=True)
-                else:
-                    os.utime(path)  # refresh the LRU clock
-                    artifact = Artifact(key=key, meta=meta, arrays=arrays)
-                    self._remember(artifact)
-                    self._record("hits", stage)
-                    return artifact
+                    self._remove_entry(path)
+                    continue
+                os.utime(path)  # refresh the LRU clock
+                artifact = Artifact(key=key, meta=meta, arrays=arrays)
+                self._remember(artifact)
+                self._record("hits", stage)
+                return artifact
         self._record("misses", stage)
         return None
 
@@ -251,21 +387,56 @@ class ArtifactStore:
         arrays: dict[str, np.ndarray] | None = None,
         stage: str | None = None,
     ) -> Artifact:
-        """Store an artifact under ``key`` and return it."""
+        """Store an artifact under ``key`` and return it.
+
+        With ``mmap_threshold_bytes`` set, an artifact at or above the
+        threshold is written in the raw format and the returned artifact's
+        arrays are re-opened as read-only memmaps — the heap copy the
+        caller built is free to die.  Below the threshold (or with the
+        policy off) the ``.npz`` path is byte-for-byte the old behavior.
+        """
         artifact = Artifact(key=key, meta=dict(meta), arrays=dict(arrays or {}))
-        self._remember(artifact)
         if self.cache_dir is not None:
-            write_archive(self._object_path(key), artifact.meta, artifact.arrays)
+            use_raw = (
+                self.mmap_threshold_bytes is not None
+                and self._artifact_bytes(artifact)
+                >= self.mmap_threshold_bytes
+            )
+            if use_raw:
+                write_raw_archive(self._raw_path(key), artifact.meta,
+                                  artifact.arrays)
+                self._object_path(key).unlink(missing_ok=True)
+                meta_back, arrays_back = read_raw_archive(self._raw_path(key))
+                artifact = Artifact(key=key, meta=meta_back,
+                                    arrays=arrays_back)
+            else:
+                write_archive(self._object_path(key), artifact.meta,
+                              artifact.arrays)
+                if self._raw_path(key).exists():
+                    shutil.rmtree(self._raw_path(key), ignore_errors=True)
+            self._note_owner(key, stage)
             self._evict()
+        self._remember(artifact)
         self._record("puts", stage)
         return artifact
+
+    def streaming_writer(
+        self, key: str, stage: str | None = None
+    ) -> "StreamingArtifactWriter":
+        """Open a :class:`StreamingArtifactWriter` building ``key`` on disk."""
+        if self.cache_dir is None:
+            raise ConfigurationError(
+                "streaming writes need a cache_dir-backed store"
+            )
+        return StreamingArtifactWriter(self, key, stage=stage)
 
     def contains(self, key: str) -> bool:
         """Presence check that does not touch the stats or the LRU clock."""
         if key in self._memory:
             return True
         return (self.cache_dir is not None
-                and self._object_path(key).exists())
+                and (self._object_path(key).exists()
+                     or self._raw_path(key).exists()))
 
     def clear(self) -> int:
         """Drop every artifact (memory + disk); returns the number removed."""
@@ -276,7 +447,9 @@ class ArtifactStore:
             self._sweep_orphans()
             for path, _, _ in self._disk_listing():
                 keys.add(path.stem)
-                path.unlink(missing_ok=True)
+                self._remove_entry(path)
+            self._stats["key_stages"].clear()
+            self._save_stats()
         return len(keys)
 
     # -- memory / disk bookkeeping ----------------------------------------
@@ -286,6 +459,8 @@ class ArtifactStore:
         return sum(a.nbytes for a in artifact.arrays.values())
 
     def _remember(self, artifact: Artifact) -> None:
+        if any(isinstance(a, np.memmap) for a in artifact.arrays.values()):
+            return  # memmapped arrays are already shared; never pin copies
         size = self._artifact_bytes(artifact)
         if self.memory_entries == 0 or size > self.memory_bytes:
             return  # oversized artifacts are served from disk only
@@ -299,23 +474,47 @@ class ArtifactStore:
             _, evicted = self._memory.popitem(last=False)
             self._memory_used -= self._artifact_bytes(evicted)
 
+    @staticmethod
+    def _remove_entry(path: Path) -> None:
+        """Delete one on-disk artifact, whichever format it is."""
+        if path.is_dir():
+            shutil.rmtree(path, ignore_errors=True)
+        else:
+            path.unlink(missing_ok=True)
+
     def _disk_listing(self) -> list[tuple[Path, int, float]]:
-        """``(path, bytes, mtime)`` for every on-disk artifact."""
+        """``(path, bytes, mtime)`` for every on-disk artifact.
+
+        Raw-format directories report the sum of their file sizes; their
+        mtime is the directory's own, refreshed by ``get`` like any
+        archive's.
+        """
         if self.cache_dir is None:
             return []
         out = []
-        for path in self._objects_dir.glob("*.npz"):
+        for path in self._objects_dir.iterdir():
             try:
-                stat = path.stat()
+                if path.suffix == ".npz" and path.is_file():
+                    stat = path.stat()
+                    out.append((path, stat.st_size, stat.st_mtime))
+                elif path.suffix == ".raw" and path.is_dir():
+                    size = sum(
+                        member.stat().st_size
+                        for member in path.iterdir()
+                        if member.is_file()
+                    )
+                    out.append((path, size, path.stat().st_mtime))
             except OSError:
                 continue
-            out.append((path, stat.st_size, stat.st_mtime))
         return out
 
     def _evict(self) -> None:
         if self.max_entries is None and self.max_bytes is None:
             return
-        listing = sorted(self._disk_listing(), key=lambda item: item[2])
+        # (mtime, key) — the key tie-break makes same-second writes (coarse
+        # filesystem timestamps) evict in a stable, reproducible order.
+        listing = sorted(self._disk_listing(),
+                         key=lambda item: (item[2], item[0].stem))
         total_bytes = sum(size for _, size, _ in listing)
         count = len(listing)
         for path, size, _ in listing:
@@ -325,11 +524,89 @@ class ArtifactStore:
                           and total_bytes > self.max_bytes)
             if not (over_entries or over_bytes):
                 break
-            path.unlink(missing_ok=True)
+            self._remove_entry(path)
             dropped = self._memory.pop(path.stem, None)
             if dropped is not None:
                 self._memory_used -= self._artifact_bytes(dropped)
             count -= 1
             total_bytes -= size
             self._stats["evictions"] += 1
+            stage = self._stats["key_stages"].get(path.stem)
+            if stage is not None:
+                self._stage_counters(stage)["evictions"] += 1
         self._save_stats()
+
+
+class StreamingArtifactWriter:
+    """Build one raw-format artifact array-by-array directly on disk.
+
+    Obtained from :meth:`ArtifactStore.streaming_writer`.  :meth:`create`
+    hands back a writable memmap a builder fills block by block (the full
+    array never exists on the heap); :meth:`commit` writes the manifest and
+    atomically renames the assembly directory into the store's raw layout,
+    returning the committed artifact with fresh read-only memmap views.
+    :meth:`abort` discards the assembly; an uncommitted directory left by a
+    crash is swept as a ``.tmp`` orphan on the next store construction.
+    """
+
+    def __init__(
+        self, store: ArtifactStore, key: str, stage: str | None = None
+    ) -> None:
+        self._store = store
+        self.key = key
+        self._stage = stage
+        self._tmp = Path(tempfile.mkdtemp(
+            dir=store._objects_dir, prefix=f"{key}.raw.", suffix=".tmp"
+        ))
+        self._files: dict[str, str] = {}
+        self._maps: list[np.memmap] = []
+        self._done = False
+
+    def create(
+        self,
+        name: str,
+        shape: tuple[int, ...],
+        dtype: np.dtype | str,
+    ) -> np.memmap:
+        """Allocate array ``name`` on disk; returns a writable memmap."""
+        if self._done:
+            raise ConfigurationError("writer already committed or aborted")
+        if name in self._files:
+            raise ConfigurationError(f"array {name!r} already created")
+        filename = f"a{len(self._files)}.npy"
+        mapped = np.lib.format.open_memmap(
+            self._tmp / filename, mode="w+", dtype=np.dtype(dtype),
+            shape=tuple(int(s) for s in shape),
+        )
+        self._files[name] = filename
+        self._maps.append(mapped)
+        return mapped
+
+    def commit(self, meta: dict) -> Artifact:
+        """Publish the assembled arrays under the store's raw layout."""
+        if self._done:
+            raise ConfigurationError("writer already committed or aborted")
+        for mapped in self._maps:
+            mapped.flush()
+        self._maps.clear()  # drop writable handles before re-opening r/o
+        (self._tmp / _RAW_MANIFEST).write_text(
+            json.dumps({"meta": dict(meta), "arrays": self._files})
+        )
+        final = self._store._raw_path(self.key)
+        if final.exists():
+            shutil.rmtree(final)
+        os.rename(self._tmp, final)
+        self._done = True
+        self._store._object_path(self.key).unlink(missing_ok=True)
+        meta_back, arrays = read_raw_archive(final)
+        self._store._note_owner(self.key, self._stage)
+        self._store._evict()
+        self._store._record("puts", self._stage)
+        return Artifact(key=self.key, meta=meta_back, arrays=arrays)
+
+    def abort(self) -> None:
+        """Discard the assembly directory (safe to call repeatedly)."""
+        if not self._done:
+            self._maps.clear()
+            shutil.rmtree(self._tmp, ignore_errors=True)
+            self._done = True

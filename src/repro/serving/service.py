@@ -179,6 +179,7 @@ class HashingService:
         self._int_by_ext: dict[int, int] = {}
         self._db_encodes = 0
         self._warm_loads = 0
+        self._snapshot_mmap = False
 
     @classmethod
     def from_snapshot(
@@ -195,8 +196,14 @@ class HashingService:
 
     # -- database ---------------------------------------------------------------
 
+    #: Default rows-per-slice for memmapped databases and snapshots.
+    DB_CHUNK = 65536
+
     def load_database(
-        self, vectors: np.ndarray, key: dict | None = None
+        self,
+        vectors: np.ndarray,
+        key: dict | None = None,
+        chunk_size: int | None = None,
     ) -> np.ndarray:
         """Encode + index a database, snapshotting the codes in the store.
 
@@ -207,8 +214,22 @@ class HashingService:
         ``serve_index`` stage, so the next service pointed at the same
         (model, database) pair warm-loads its index with zero re-encodes.
         Returns the external ids assigned to the database rows.
+
+        Memory model: a memmapped ``vectors`` array stays disk-resident —
+        encoding and registration proceed ``chunk_size`` rows at a time
+        (default :attr:`DB_CHUNK`), each slice copied to the heap only for
+        its own forward pass, with results identical to the monolithic
+        path.  When the store replays the snapshot from a raw-format
+        artifact the packed code bits come back memmapped too, so K
+        service processes over the same cache share one physical copy;
+        :meth:`stats` reports this under ``database.snapshot_mmapped``.
         """
-        vectors = np.asarray(vectors, dtype=np.float64)
+        if chunk_size is not None and chunk_size <= 0:
+            raise ConfigurationError(
+                f"chunk_size must be positive (or None): {chunk_size}"
+            )
+        if not isinstance(vectors, np.memmap):
+            vectors = np.asarray(vectors, dtype=np.float64)
         # The key is trusted provenance (like dataset_key): it must change
         # whenever the database content changes.  The shape is folded in as
         # a cheap sanity net so a same-key catalog that grew or shrank can
@@ -222,12 +243,34 @@ class HashingService:
             inputs=(self.model_key,) if self.model_key is not None else (),
         )
 
+        step = chunk_size
+        if step is None and isinstance(vectors, np.memmap):
+            step = self.DB_CHUNK
+
         def build() -> tuple[dict, dict[str, np.ndarray]]:
             self._db_encodes += 1
-            codes = self._encode(vectors)
+            if step is None or vectors.shape[0] == 0:
+                codes = self._encode(np.asarray(vectors, dtype=np.float64))
+                bits = np.packbits(codes > 0, axis=1)
+            else:
+                # Per-chunk cast + forward + packbits: every row's code is
+                # independent in eval mode, so the concatenation equals the
+                # monolithic encode bit for bit.
+                bits = np.concatenate(
+                    [
+                        np.packbits(
+                            self._encode(
+                                np.asarray(vectors[s : s + step],
+                                           dtype=np.float64)
+                            ) > 0,
+                            axis=1,
+                        )
+                        for s in range(0, vectors.shape[0], step)
+                    ]
+                )
             return (
-                {"n_bits": self.n_bits, "rows": int(codes.shape[0])},
-                {"bits": np.packbits(codes > 0, axis=1)},
+                {"n_bits": self.n_bits, "rows": int(bits.shape[0])},
+                {"bits": bits},
             )
 
         encodes_before = self._db_encodes
@@ -235,10 +278,28 @@ class HashingService:
         artifact = run_stage(self.store if staged else None, stage, build)
         if self._db_encodes == encodes_before:
             self._warm_loads += 1
-        codes = unpack_codes(
-            PackedCodes(bits=artifact.arrays["bits"], n_bits=self.n_bits)
+        bits = artifact.arrays["bits"]
+        self._snapshot_mmap = isinstance(bits, np.memmap)
+        reg_step = step
+        if reg_step is None and self._snapshot_mmap:
+            reg_step = self.DB_CHUNK
+        if reg_step is None or bits.shape[0] == 0:
+            codes = unpack_codes(
+                PackedCodes(bits=np.asarray(bits), n_bits=self.n_bits)
+            )
+            return self._register(codes, ids=None)
+        return np.concatenate(
+            [
+                self._register(
+                    unpack_codes(
+                        PackedCodes(bits=np.asarray(bits[s : s + reg_step]),
+                                    n_bits=self.n_bits)
+                    ),
+                    ids=None,
+                )
+                for s in range(0, bits.shape[0], reg_step)
+            ]
         )
-        return self._register(codes, ids=None)
 
     # -- mutation ---------------------------------------------------------------
 
@@ -341,6 +402,7 @@ class HashingService:
             "database": {
                 "encodes": self._db_encodes,
                 "warm_loads": self._warm_loads,
+                "snapshot_mmapped": self._snapshot_mmap,
             },
             "caches": {},
         }

@@ -15,6 +15,9 @@ strongest entries per row (plus the diagonal) in CSR form, so the full
 
 from __future__ import annotations
 
+import os
+import tempfile
+
 import numpy as np
 
 from repro.errors import ConfigurationError, ShapeError
@@ -102,11 +105,31 @@ def cosine_similarity_matrix(
     return np.clip(sims, -1.0, 1.0)
 
 
+#: Default cap on the GEMM tile; shared by the heap and streaming builders
+#: so both resolve the same effective block height at any corpus size.
+_MAX_BLOCK_BYTES = 256 * 1024 * 1024
+
+
+def _capped_block_rows(
+    n: int, itemsize: int, block_rows: int, max_block_bytes: int
+) -> int:
+    """Shrink ``block_rows`` so one tile stays under ``max_block_bytes``.
+
+    A tile row costs one GEMM buffer row plus one argpartition output row.
+    Floors at 16 rows: degenerate block heights of a few rows can route
+    BLAS through a different (gemv-style) kernel whose summation order
+    differs by ~1 ulp.
+    """
+    row_bytes = n * (itemsize + np.dtype(np.intp).itemsize)
+    return min(block_rows, max(16, max_block_bytes // row_bytes))
+
+
 def blocked_topk_cosine(
     features: np.ndarray,
     k: int,
     block_rows: int = 512,
     dtype: np.dtype | str | None = None,
+    max_block_bytes: int = _MAX_BLOCK_BYTES,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """CSR top-k rows of the cosine-similarity matrix, built blockwise.
 
@@ -121,16 +144,21 @@ def blocked_topk_cosine(
     corresponding entries of :func:`cosine_similarity_matrix` (a row block
     of a GEMM is the same dot products, and the clip is applied
     identically), so with ``k >= n - 1`` densifying the result reproduces
-    the dense matrix exactly.  Caveat: degenerate block heights of a few
-    rows can route BLAS through a different (gemv-style) kernel whose
-    summation order differs by ~1 ulp; keep ``block_rows`` at a practical
-    size (the default 512, or anything >= a SIMD width) for the
-    bit-identity guarantee.
+    the dense matrix exactly.  ``max_block_bytes`` caps the tile by
+    shrinking ``block_rows`` for large n, with the same formula
+    :func:`streaming_topk_cosine` uses — equal arguments therefore always
+    resolve the same effective block height in both builders, which is
+    what the bit-identity guarantee between them rests on (BLAS summation
+    order is only stable for a fixed tile shape).
     """
     if k <= 0:
         raise ConfigurationError(f"k must be positive: {k}")
     if block_rows <= 0:
         raise ConfigurationError(f"block_rows must be positive: {block_rows}")
+    if max_block_bytes <= 0:
+        raise ConfigurationError(
+            f"max_block_bytes must be positive: {max_block_bytes}"
+        )
     a_n = l2_normalize(np.atleast_2d(features), dtype=dtype)
     if a_n.ndim != 2:
         raise ShapeError(f"expected a 2-D feature array, got {a_n.shape}")
@@ -139,13 +167,46 @@ def blocked_topk_cosine(
         return (np.zeros(0, dtype=a_n.dtype), np.zeros(0, dtype=np.int32),
                 np.zeros(1, dtype=np.int32))
     keep = min(k, n - 1) + 1  # k strongest plus the diagonal
-    # Column indices only hold values < n; indptr must hold nnz = n * keep,
-    # which can overflow int32 long before n does.
+    index_dtype, indptr_dtype = _topk_index_dtypes(n, keep)
+    block_rows = _capped_block_rows(
+        n, a_n.dtype.itemsize, block_rows, max_block_bytes
+    )
+    data = np.empty((n, keep), dtype=a_n.dtype)
+    indices = np.empty((n, keep), dtype=index_dtype)
+    _fill_topk_blocks(a_n, keep, block_rows, data, indices)
+    indptr = np.arange(n + 1, dtype=indptr_dtype) * indptr_dtype(keep)
+    return data.reshape(-1), indices.reshape(-1), indptr
+
+
+def _topk_index_dtypes(n: int, keep: int) -> tuple[np.dtype, np.dtype]:
+    """Smallest safe integer dtypes for CSR column indices and indptr.
+
+    Column indices only hold values < n; indptr must hold nnz = n * keep,
+    which can overflow int32 long before n does.
+    """
     index_dtype = np.int32 if n <= np.iinfo(np.int32).max else np.int64
     indptr_dtype = (np.int32 if n * keep <= np.iinfo(np.int32).max
                     else np.int64)
-    data = np.empty((n, keep), dtype=a_n.dtype)
-    indices = np.empty((n, keep), dtype=index_dtype)
+    return index_dtype, indptr_dtype
+
+
+def _fill_topk_blocks(
+    a_n: np.ndarray,
+    keep: int,
+    block_rows: int,
+    data: np.ndarray,
+    indices: np.ndarray,
+) -> None:
+    """The tiled-GEMM top-k loop shared by the heap and streaming builders.
+
+    ``a_n`` is the L2-normalized feature matrix (heap array or memmap);
+    ``data``/``indices`` are preallocated (n, keep) destinations — heap
+    arrays for :func:`blocked_topk_cosine`, writable on-disk memmap views
+    for :func:`streaming_topk_cosine`.  Each output row depends only on
+    that row's dot products, so results are identical wherever the buffers
+    live.
+    """
+    n = a_n.shape[0]
     block_rows = min(block_rows, n)
     buf = np.empty((block_rows, n), dtype=a_n.dtype)
     a_t = a_n.T  # transposed view; BLAS consumes it without a copy
@@ -167,8 +228,96 @@ def blocked_topk_cosine(
         order = np.sort(selected, axis=1)
         indices[start:stop] = order
         data[start:stop] = block[rows[:, None], order]
-    indptr = np.arange(n + 1, dtype=indptr_dtype) * indptr_dtype(keep)
-    return data.reshape(-1), indices.reshape(-1), indptr
+
+
+#: Row-block height used when streaming features through normalization.
+_STREAM_NORM_ROWS = 8192
+
+
+def streaming_topk_cosine(
+    features: np.ndarray,
+    k: int,
+    create_array,
+    block_rows: int = 512,
+    dtype: np.dtype | str | None = None,
+    max_block_bytes: int = _MAX_BLOCK_BYTES,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """:func:`blocked_topk_cosine` with every O(n)-sized buffer on disk.
+
+    The out-of-core builder: ``features`` may be a memmap; the normalized
+    copy streams into an anonymous scratch memmap (unlinked immediately,
+    so its pages die with the map), and the CSR ``data``/``indices``/
+    ``indptr`` outputs are allocated through ``create_array(name, shape,
+    dtype)`` — typically
+    :meth:`~repro.pipeline.store.StreamingArtifactWriter.create`, which
+    puts them straight into an artifact directory.  Peak heap is the
+    O(block_rows · n) GEMM tile plus one block of rows, independent of
+    the corpus size; ``max_block_bytes`` additionally caps the tile by
+    shrinking ``block_rows`` for large n.
+
+    The array names are ``q_data`` / ``q_indices`` / ``q_indptr`` — the
+    CSR payload layout of
+    :class:`~repro.core.similarity_matrix.SparseTopKSimilarity` — and the
+    filled values are bit-identical to :func:`blocked_topk_cosine` at
+    equal ``block_rows``/``dtype``/``max_block_bytes`` arguments: both
+    builders resolve the same effective tile height through
+    :func:`_capped_block_rows`, per-row L2 normalization equals the
+    whole-array normalization, and the per-row argpartition/sort is
+    independent of where its buffers live.
+    Returns the three (filled) created arrays.
+    """
+    if k <= 0:
+        raise ConfigurationError(f"k must be positive: {k}")
+    if block_rows <= 0:
+        raise ConfigurationError(f"block_rows must be positive: {block_rows}")
+    if max_block_bytes <= 0:
+        raise ConfigurationError(
+            f"max_block_bytes must be positive: {max_block_bytes}"
+        )
+    features = np.atleast_2d(features)
+    if features.ndim != 2:
+        raise ShapeError(f"expected a 2-D feature array, got {features.shape}")
+    work_dtype = np.dtype(np.float64 if dtype is None else dtype)
+    n, dim = features.shape
+    if n == 0:
+        empty_indptr = create_array("q_indptr", (1,), np.int32)
+        empty_indptr[:] = 0
+        return (
+            create_array("q_data", (0,), work_dtype),
+            create_array("q_indices", (0,), np.int32),
+            empty_indptr,
+        )
+    keep = min(k, n - 1) + 1
+    index_dtype, indptr_dtype = _topk_index_dtypes(n, keep)
+
+    # Normalized features live in an anonymous scratch memmap: unlinking a
+    # mapped file keeps the mapping valid (POSIX), so the scratch needs no
+    # cleanup path and its disk space is reclaimed when the map dies.
+    fd, scratch_name = tempfile.mkstemp(prefix="repro-topk-", suffix=".npy")
+    os.close(fd)
+    a_n = np.lib.format.open_memmap(
+        scratch_name, mode="w+", dtype=work_dtype, shape=(n, dim)
+    )
+    try:
+        os.unlink(scratch_name)
+    except OSError:
+        pass  # e.g. non-POSIX semantics; worst case the temp file lingers
+    for start in range(0, n, _STREAM_NORM_ROWS):
+        stop = min(start + _STREAM_NORM_ROWS, n)
+        # Row-wise, so per-block normalization == whole-array normalization.
+        a_n[start:stop] = l2_normalize(features[start:stop], dtype=work_dtype)
+
+    block_rows = _capped_block_rows(
+        n, work_dtype.itemsize, block_rows, max_block_bytes
+    )
+
+    data = create_array("q_data", (n * keep,), work_dtype)
+    indices = create_array("q_indices", (n * keep,), index_dtype)
+    indptr = create_array("q_indptr", (n + 1,), indptr_dtype)
+    _fill_topk_blocks(a_n, keep, block_rows, data.reshape(n, keep),
+                      indices.reshape(n, keep))
+    indptr[:] = np.arange(n + 1, dtype=indptr_dtype) * indptr_dtype(keep)
+    return data, indices, indptr
 
 
 def sign(x: np.ndarray) -> np.ndarray:

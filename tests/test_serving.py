@@ -247,13 +247,17 @@ class TestHashingService:
         store = ArtifactStore(tmp_path / "cache")
         cold = self.make_service(store=store)
         cold.load_database(db, key={"name": "unit"})
-        assert cold.stats()["database"] == {"encodes": 1, "warm_loads": 0}
+        assert cold.stats()["database"] == {
+            "encodes": 1, "warm_loads": 0, "snapshot_mmapped": False,
+        }
         assert store.stats()["stages"][INDEX_STAGE]["puts"] == 1
 
         warm_store = ArtifactStore(tmp_path / "cache")
         warm = self.make_service(store=warm_store)
         warm.load_database(db, key={"name": "unit"})
-        assert warm.stats()["database"] == {"encodes": 0, "warm_loads": 1}
+        assert warm.stats()["database"] == {
+            "encodes": 0, "warm_loads": 1, "snapshot_mmapped": False,
+        }
         stages = warm_store.stats()["stages"][INDEX_STAGE]
         assert stages["puts"] == 1 and stages["misses"] == 1
         queries = rng.normal(size=(4, 8))
