@@ -543,10 +543,19 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     print(f"  evictions : {stats['evictions']}")
     print(f"  on disk   : {stats['disk_entries']} artifacts, "
           f"{stats['disk_bytes'] / 1e6:.1f} MB")
+    print(f"  integrity : {stats['corruptions']} corruptions, "
+          f"{stats['quarantined']} quarantined "
+          f"({stats['quarantine_entries']} held, "
+          f"{stats['quarantine_bytes'] / 1e6:.1f} MB)")
+    print(f"  resilience: {stats['retries']} retries, "
+          f"{stats['read_failures']} read failures, "
+          f"{stats['put_failures']} put failures")
     for stage, counts in sorted(stats["stages"].items()):
         print(f"  stage {stage:<8}: {counts['hits']} hits, "
               f"{counts['misses']} misses, "
               f"{counts['evictions']} evictions, "
+              f"{counts['corruptions']} corruptions, "
+              f"{counts['quarantined']} quarantined, "
               f"{counts['disk_entries']} on disk "
               f"({counts['disk_bytes'] / 1e6:.1f} MB)")
     return 0

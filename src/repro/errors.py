@@ -30,3 +30,49 @@ class VocabularyError(ReproError, ValueError):
 
 class ConvergenceError(ReproError, RuntimeError):
     """An iterative solver failed to converge within its iteration budget."""
+
+
+# -- failure taxonomy (serving / pipeline resilience) -------------------------
+#
+# The fault-tolerance layer (:mod:`repro.utils.faults`,
+# :mod:`repro.utils.retry`, the store's integrity checks, and the serving
+# degradation paths) speaks in these types so callers can route on the
+# *class* of failure: retry transients, rebuild corruptions, degrade on
+# unavailable shards, shed on overload, and give up on blown deadlines.
+
+
+class TransientError(ReproError, RuntimeError):
+    """A failure expected to succeed on retry (flaky I/O, injected fault).
+
+    :class:`~repro.utils.retry.RetryPolicy` retries these by default; a
+    transient that survives every attempt still surfaces as this type so
+    the caller knows retrying more is pointless, not wrong.
+    """
+
+
+class ArtifactCorruptionError(ReproError, RuntimeError):
+    """A stored artifact failed its integrity check (digest mismatch,
+    truncated archive, unreadable manifest).
+
+    Never retried — the bytes on disk are wrong, not busy.  The store
+    quarantines the entry and rebuilds instead.
+    """
+
+
+class ShardUnavailableError(ReproError, RuntimeError):
+    """A retrieval shard is failing or its circuit breaker is open.
+
+    Raised to a caller only when *every* shard is unavailable; a subset of
+    failing shards degrades to partial results instead.
+    """
+
+
+class OverloadedError(ReproError, RuntimeError):
+    """The service shed this request because its pending queue is full.
+
+    Back off and retry later; the request was rejected before any work.
+    """
+
+
+class DeadlineExceededError(ReproError, RuntimeError):
+    """A request's deadline budget expired before an answer was ready."""

@@ -30,6 +30,7 @@ from repro.pipeline.store import (
     Artifact,
     ArtifactStore,
     StreamingArtifactWriter,
+    content_digest,
     read_archive,
     read_raw_archive,
     write_archive,
@@ -49,6 +50,7 @@ __all__ = [
     "TRAIN",
     "array_fingerprint",
     "canonical",
+    "content_digest",
     "dataset_key",
     "fingerprint",
     "read_archive",

@@ -29,6 +29,24 @@ cache stats`` reports on runs that died mid-flight.  The stats file also
 remembers which stage owns each key, which is what lets ``cache stats``
 attribute on-disk bytes and evictions per stage.
 
+**Integrity & fault tolerance** (PR 7): every artifact records a sha256
+content digest at ``put``/``commit`` time (inside the ``.npz`` metadata
+row, or per-member in the raw manifest) and is verified on its first disk
+read per store instance; a mismatch — or any other unreadable entry —
+raises internally as :class:`~repro.errors.ArtifactCorruptionError` and
+the entry is **quarantined** to ``<cache_dir>/quarantine/`` (never
+silently deleted) before the store reports a miss, so the pipeline
+rebuilds exactly once and the bad bytes stay available for a post-mortem.
+Disk reads and writes run under an injectable
+:class:`~repro.utils.retry.RetryPolicy` (transient I/O errors retry with
+backoff; an exhausted read degrades to a miss, an exhausted write
+degrades to serving the artifact from memory only), and every disk
+operation consults the store's :class:`~repro.utils.faults.FaultInjector`
+at the ``store.read`` / ``store.write`` points so the whole ladder is
+testable deterministically.  ``corruptions`` / ``quarantined`` /
+``retries`` / ``read_failures`` / ``put_failures`` counters persist next
+to the hit/miss ones.
+
 The archive format (``__meta__`` JSON row + named arrays in one ``.npz``)
 is shared with :mod:`repro.core.persistence`, which is a thin client of
 :func:`write_archive` / :func:`read_archive`.
@@ -36,22 +54,84 @@ is shared with :mod:`repro.core.persistence`, which is a thin client of
 
 from __future__ import annotations
 
+import hashlib
 import json
+import logging
 import os
 import shutil
 import tempfile
+import zipfile
+import zlib
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
 
 import numpy as np
 
-from repro.errors import ConfigurationError
+from repro.errors import (
+    ArtifactCorruptionError,
+    ConfigurationError,
+    TransientError,
+)
+from repro.utils.faults import NULL_INJECTOR, FaultInjector
+from repro.utils.retry import RetryPolicy
+
+_LOG = logging.getLogger(__name__)
 
 _META_KEY = "__meta__"
 
 #: Manifest filename inside a raw-format artifact directory.
 _RAW_MANIFEST = "meta.json"
+
+#: Reserved metadata field carrying the ``.npz`` content digest.
+_DIGEST_KEY = "__digest__"
+
+#: Exceptions meaning "the bytes on disk are not a valid artifact" — the
+#: quarantine path.  Transient I/O errors (``OSError``) are retried, not
+#: quarantined; anything here is deterministic badness.
+_CORRUPT_ERRORS = (
+    ArtifactCorruptionError,
+    ConfigurationError,
+    ValueError,  # bad .npy headers, malformed JSON, np.load refusals
+    KeyError,  # missing archive members
+    EOFError,
+    zipfile.BadZipFile,
+    zlib.error,
+)
+
+
+def _hash_array(digest, array: np.ndarray) -> None:
+    """Fold one array's dtype, shape, and raw bytes into ``digest``.
+
+    Contiguous arrays (including memmaps) hash through a zero-copy
+    memoryview, so digesting an out-of-core artifact streams pages without
+    materializing a heap copy.
+    """
+    array = np.asarray(array)
+    digest.update(str(array.dtype).encode())
+    digest.update(repr(tuple(array.shape)).encode())
+    if array.size == 0:
+        return
+    if not array.flags.c_contiguous:
+        array = np.ascontiguousarray(array)
+    digest.update(memoryview(array.reshape(-1)))
+
+
+def content_digest(meta: dict, arrays: dict[str, np.ndarray]) -> str:
+    """sha256 over an artifact's metadata and named arrays."""
+    digest = hashlib.sha256()
+    digest.update(json.dumps(meta, sort_keys=True).encode("utf-8"))
+    for name in sorted(arrays):
+        digest.update(name.encode("utf-8"))
+        _hash_array(digest, arrays[name])
+    return digest.hexdigest()
+
+
+def _member_digest(array: np.ndarray) -> str:
+    """sha256 of one raw-format member array."""
+    digest = hashlib.sha256()
+    _hash_array(digest, array)
+    return digest.hexdigest()
 
 
 # -- archive (de)serialization ------------------------------------------------
@@ -60,13 +140,23 @@ _RAW_MANIFEST = "meta.json"
 def write_archive(
     path: str | Path, meta: dict, arrays: dict[str, np.ndarray]
 ) -> Path:
-    """Atomically write ``meta`` + ``arrays`` as one ``.npz`` archive."""
+    """Atomically write ``meta`` + ``arrays`` as one ``.npz`` archive.
+
+    A sha256 content digest over the metadata and arrays rides along in
+    the metadata row under a reserved field; :func:`read_archive` verifies
+    it so silent bit rot surfaces as
+    :class:`~repro.errors.ArtifactCorruptionError` instead of bad science.
+    """
     path = Path(path)
     if _META_KEY in arrays:
         raise ConfigurationError(f"array name {_META_KEY!r} is reserved")
+    if _DIGEST_KEY in meta:
+        raise ConfigurationError(f"meta field {_DIGEST_KEY!r} is reserved")
+    stamped = dict(meta)
+    stamped[_DIGEST_KEY] = content_digest(meta, arrays)
     payload = {
         _META_KEY: np.frombuffer(
-            json.dumps(meta).encode("utf-8"), dtype=np.uint8
+            json.dumps(stamped).encode("utf-8"), dtype=np.uint8
         )
     }
     payload.update(arrays)
@@ -84,8 +174,16 @@ def write_archive(
     return path
 
 
-def read_archive(path: str | Path) -> tuple[dict, dict[str, np.ndarray]]:
-    """Read an archive written by :func:`write_archive`."""
+def read_archive(
+    path: str | Path, verify: bool = True
+) -> tuple[dict, dict[str, np.ndarray]]:
+    """Read an archive written by :func:`write_archive`.
+
+    With ``verify=True`` (the default) the embedded content digest — when
+    present; archives from before the integrity layer carry none — is
+    recomputed over the loaded payload and a mismatch raises
+    :class:`~repro.errors.ArtifactCorruptionError`.
+    """
     path = Path(path)
     if not path.exists():
         raise ConfigurationError(f"no such archive: {path}")
@@ -94,6 +192,14 @@ def read_archive(path: str | Path) -> tuple[dict, dict[str, np.ndarray]]:
             raise ConfigurationError(f"not a repro archive (no metadata): {path}")
         meta = json.loads(bytes(archive[_META_KEY]).decode("utf-8"))
         arrays = {k: archive[k] for k in archive.files if k != _META_KEY}
+    recorded = meta.pop(_DIGEST_KEY, None)
+    if verify and recorded is not None:
+        actual = content_digest(meta, arrays)
+        if actual != recorded:
+            raise ArtifactCorruptionError(
+                f"archive {path} failed its integrity check: recorded "
+                f"digest {recorded[:12]}…, recomputed {actual[:12]}…"
+            )
     return meta, arrays
 
 
@@ -113,10 +219,13 @@ def write_raw_archive(
                                 suffix=".tmp"))
     try:
         files = {name: f"a{i}.npy" for i, name in enumerate(sorted(arrays))}
+        digests = {}
         for name, filename in files.items():
-            np.save(tmp / filename, np.asarray(arrays[name]))
+            array = np.asarray(arrays[name])
+            np.save(tmp / filename, array)
+            digests[name] = _member_digest(array)
         (tmp / _RAW_MANIFEST).write_text(
-            json.dumps({"meta": meta, "arrays": files})
+            json.dumps({"meta": meta, "arrays": files, "digests": digests})
         )
         if path.exists():
             shutil.rmtree(path)
@@ -128,13 +237,17 @@ def write_raw_archive(
 
 
 def read_raw_archive(
-    path: str | Path, mmap: bool = True
+    path: str | Path, mmap: bool = True, verify: bool = True
 ) -> tuple[dict, dict[str, np.ndarray]]:
     """Read a raw-format artifact directory.
 
     With ``mmap=True`` (the default) every array comes back as a read-only
     ``np.memmap`` view — the page cache, not the heap, holds the data, and
-    concurrent readers share one physical copy.
+    concurrent readers share one physical copy.  With ``verify=True`` each
+    member whose digest the manifest records (manifests from before the
+    integrity layer record none) is re-hashed — a streaming pass through
+    the memmap, no heap copy — and a mismatch raises
+    :class:`~repro.errors.ArtifactCorruptionError`.
     """
     path = Path(path)
     manifest_path = path / _RAW_MANIFEST
@@ -145,6 +258,16 @@ def read_raw_archive(
         name: np.load(path / filename, mmap_mode="r" if mmap else None)
         for name, filename in manifest["arrays"].items()
     }
+    if verify:
+        digests = manifest.get("digests", {})
+        for name, recorded in digests.items():
+            actual = _member_digest(arrays[name])
+            if actual != recorded:
+                raise ArtifactCorruptionError(
+                    f"raw artifact member {name!r} in {path} failed its "
+                    f"integrity check: recorded digest {recorded[:12]}…, "
+                    f"recomputed {actual[:12]}…"
+                )
     return manifest["meta"], arrays
 
 
@@ -184,6 +307,16 @@ class ArtifactStore:
         artifacts already on disk are always memmapped on read,
         whatever the threshold — the format, not the policy, decides
         residency.
+    retry:
+        :class:`~repro.utils.retry.RetryPolicy` wrapped around every disk
+        read and write (default: 3 attempts, 10 ms exponential backoff).
+        A read that stays transiently broken degrades to a miss; a write
+        degrades to serving the artifact from memory only.  Corruption is
+        never retried — it goes to quarantine.
+    faults:
+        :class:`~repro.utils.faults.FaultInjector` consulted at the
+        ``store.read`` / ``store.write`` points; the shared disarmed
+        :data:`~repro.utils.faults.NULL_INJECTOR` by default.
     """
 
     def __init__(
@@ -194,6 +327,8 @@ class ArtifactStore:
         memory_entries: int = 64,
         memory_bytes: int = 256 * 1024 * 1024,
         mmap_threshold_bytes: int | None = None,
+        retry: RetryPolicy | None = None,
+        faults: FaultInjector = NULL_INJECTOR,
     ) -> None:
         if mmap_threshold_bytes is not None:
             if mmap_threshold_bytes < 0:
@@ -223,10 +358,18 @@ class ArtifactStore:
         self.memory_entries = memory_entries
         self.memory_bytes = memory_bytes
         self.mmap_threshold_bytes = mmap_threshold_bytes
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.faults = faults
         self._memory: OrderedDict[str, Artifact] = OrderedDict()
         self._memory_used = 0
+        #: Keys whose on-disk bytes this store instance wrote or already
+        #: digest-verified; later reads of the same key skip re-hashing.
+        self._verified: set[str] = set()
         self._stats: dict = {"hits": 0, "misses": 0, "puts": 0,
-                             "evictions": 0, "stages": {}, "key_stages": {}}
+                             "evictions": 0, "corruptions": 0,
+                             "quarantined": 0, "retries": 0,
+                             "read_failures": 0, "put_failures": 0,
+                             "stages": {}, "key_stages": {}}
         if self.cache_dir is not None:
             self._objects_dir.mkdir(parents=True, exist_ok=True)
             self._sweep_orphans()
@@ -263,6 +406,11 @@ class ArtifactStore:
     def _raw_path(self, key: str) -> Path:
         return self._objects_dir / f"{key}.raw"
 
+    @property
+    def quarantine_dir(self) -> Path:
+        assert self.cache_dir is not None
+        return self.cache_dir / "quarantine"
+
     # -- stats -------------------------------------------------------------
 
     def _load_stats(self) -> None:
@@ -271,7 +419,9 @@ class ArtifactStore:
         except (OSError, ValueError):
             return
         if isinstance(loaded, dict):
-            for field_name in ("hits", "misses", "puts", "evictions"):
+            for field_name in ("hits", "misses", "puts", "evictions",
+                               "corruptions", "quarantined", "retries",
+                               "read_failures", "put_failures"):
                 if isinstance(loaded.get(field_name), int):
                     self._stats[field_name] = loaded[field_name]
             if isinstance(loaded.get("stages"), dict):
@@ -291,9 +441,10 @@ class ArtifactStore:
         per = self._stats["stages"].setdefault(
             stage, {"hits": 0, "misses": 0, "puts": 0}
         )
-        # Stats files written before per-stage eviction tracking carry no
-        # "evictions" key; backfill so increments never KeyError.
-        per.setdefault("evictions", 0)
+        # Stats files written before per-stage eviction/integrity tracking
+        # carry no such keys; backfill so increments never KeyError.
+        for field_name in ("evictions", "corruptions", "quarantined"):
+            per.setdefault(field_name, 0)
         return per
 
     def _record(self, event: str, stage: str | None) -> None:
@@ -318,7 +469,8 @@ class ArtifactStore:
         per-stage disk split but still count in the totals).
         """
         stages = {
-            name: {"evictions": 0, **dict(counts)}
+            name: {"evictions": 0, "corruptions": 0, "quarantined": 0,
+                   **dict(counts)}
             for name, counts in self._stats["stages"].items()
         }
         for per in stages.values():
@@ -329,10 +481,17 @@ class ArtifactStore:
             "misses": self._stats["misses"],
             "puts": self._stats["puts"],
             "evictions": self._stats["evictions"],
+            "corruptions": self._stats["corruptions"],
+            "quarantined": self._stats["quarantined"],
+            "retries": self._stats["retries"],
+            "read_failures": self._stats["read_failures"],
+            "put_failures": self._stats["put_failures"],
             "stages": stages,
             "memory_entries": len(self._memory),
             "disk_entries": 0,
             "disk_bytes": 0,
+            "quarantine_entries": 0,
+            "quarantine_bytes": 0,
         }
         key_stages = self._stats["key_stages"]
         for path, size, _ in self._disk_listing():
@@ -342,7 +501,59 @@ class ArtifactStore:
             if stage is not None and stage in stages:
                 stages[stage]["disk_entries"] += 1
                 stages[stage]["disk_bytes"] += size
+        if self.cache_dir is not None and self.quarantine_dir.is_dir():
+            for path in self.quarantine_dir.iterdir():
+                try:
+                    if path.is_dir():
+                        size = sum(m.stat().st_size for m in path.iterdir()
+                                   if m.is_file())
+                    else:
+                        size = path.stat().st_size
+                except OSError:
+                    continue
+                out["quarantine_entries"] += 1
+                out["quarantine_bytes"] += size
         return out
+
+    # -- fault handling ----------------------------------------------------
+
+    def _with_retry(self, fn, label: str):
+        """Run one disk operation under the retry policy, counting retries."""
+        before = self.retry.retries
+        try:
+            return self.retry.call(fn, label=label)
+        finally:
+            delta = self.retry.retries - before
+            if delta:
+                self._stats["retries"] += delta
+
+    def _quarantine(
+        self, path: Path, key: str, stage: str | None, exc: BaseException
+    ) -> None:
+        """Move a corrupt entry aside for post-mortem instead of deleting it."""
+        assert self.cache_dir is not None
+        self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+        dest = self.quarantine_dir / path.name
+        self._remove_entry(dest)  # an older quarantined copy gives way
+        try:
+            shutil.move(str(path), str(dest))
+        except OSError:
+            # Cross-device or permission trouble: removal is the fallback —
+            # a corrupt artifact must never be served again.
+            self._remove_entry(path)
+        self._memory.pop(key, None)
+        self._verified.discard(key)
+        self._stats["corruptions"] += 1
+        self._stats["quarantined"] += 1
+        if stage is not None:
+            per = self._stage_counters(stage)
+            per["corruptions"] += 1
+            per["quarantined"] += 1
+        self._save_stats()
+        _LOG.warning(
+            "quarantined corrupt artifact %s -> %s (%s); it will be rebuilt",
+            path.name, dest, exc,
+        )
 
     # -- core operations ---------------------------------------------------
 
@@ -351,7 +562,12 @@ class ArtifactStore:
 
         A raw-format hit returns read-only ``np.memmap`` array views (disk
         stays the residence of the data); an ``.npz`` hit returns heap
-        arrays exactly as before.
+        arrays exactly as before.  The first disk read of a key per store
+        instance verifies its recorded sha256 digest; a corrupt entry
+        (digest mismatch, truncated archive, unreadable manifest) is
+        quarantined under ``<cache_dir>/quarantine/`` and reported as a
+        miss, and a transiently failing read retries under the store's
+        policy before likewise degrading to a miss.
         """
         artifact = self._memory.get(key)
         if artifact is not None:
@@ -365,13 +581,30 @@ class ArtifactStore:
             ):
                 if not path.exists():
                     continue
+                verify = key not in self._verified
+
+                def attempt():
+                    self.faults.check("store.read", key=key)
+                    if reader is read_raw_archive:
+                        return read_raw_archive(path, verify=verify)
+                    return read_archive(path, verify=verify)
+
                 try:
-                    meta, arrays = reader(path)
-                except (ConfigurationError, OSError, ValueError):
-                    # A corrupt artifact (interrupted disk, manual edit) is
-                    # treated as a miss and recomputed over.
-                    self._remove_entry(path)
+                    meta, arrays = self._with_retry(
+                        attempt, label=f"read {key[:12]}"
+                    )
+                except (TransientError, OSError) as exc:
+                    # The bytes may be fine — the read path is not.  Do not
+                    # quarantine; degrade to a miss so the caller rebuilds.
+                    self._stats["read_failures"] += 1
+                    self._save_stats()
+                    _LOG.warning("read of artifact %s kept failing (%s); "
+                                 "treating as a miss", path.name, exc)
                     continue
+                except _CORRUPT_ERRORS as exc:
+                    self._quarantine(path, key, stage, exc)
+                    continue
+                self._verified.add(key)
                 os.utime(path)  # refresh the LRU clock
                 artifact = Artifact(key=key, meta=meta, arrays=arrays)
                 self._remember(artifact)
@@ -394,6 +627,11 @@ class ArtifactStore:
         arrays are re-opened as read-only memmaps — the heap copy the
         caller built is free to die.  Below the threshold (or with the
         policy off) the ``.npz`` path is byte-for-byte the old behavior.
+
+        A transiently failing write retries under the store's policy; if
+        it stays broken the artifact is served from memory only for this
+        process (``put_failures`` counts the event) rather than failing
+        the pipeline run that just computed it.
         """
         artifact = Artifact(key=key, meta=dict(meta), arrays=dict(arrays or {}))
         if self.cache_dir is not None:
@@ -402,16 +640,37 @@ class ArtifactStore:
                 and self._artifact_bytes(artifact)
                 >= self.mmap_threshold_bytes
             )
-            if use_raw:
-                write_raw_archive(self._raw_path(key), artifact.meta,
+
+            def write():
+                self.faults.check("store.write", key=key)
+                if use_raw:
+                    write_raw_archive(self._raw_path(key), artifact.meta,
+                                      artifact.arrays)
+                else:
+                    write_archive(self._object_path(key), artifact.meta,
                                   artifact.arrays)
+
+            try:
+                self._with_retry(write, label=f"write {key[:12]}")
+            except (TransientError, OSError) as exc:
+                self._stats["put_failures"] += 1
+                self._save_stats()
+                _LOG.warning(
+                    "write of artifact %s kept failing (%s); serving it "
+                    "from memory only", key[:12], exc,
+                )
+                self._remember(artifact)
+                self._record("puts", stage)
+                return artifact
+            self._verified.add(key)
+            if use_raw:
                 self._object_path(key).unlink(missing_ok=True)
-                meta_back, arrays_back = read_raw_archive(self._raw_path(key))
+                meta_back, arrays_back = read_raw_archive(
+                    self._raw_path(key), verify=False
+                )
                 artifact = Artifact(key=key, meta=meta_back,
                                     arrays=arrays_back)
             else:
-                write_archive(self._object_path(key), artifact.meta,
-                              artifact.arrays)
                 if self._raw_path(key).exists():
                     shutil.rmtree(self._raw_path(key), ignore_errors=True)
             self._note_owner(key, stage)
@@ -439,15 +698,19 @@ class ArtifactStore:
                      or self._raw_path(key).exists()))
 
     def clear(self) -> int:
-        """Drop every artifact (memory + disk); returns the number removed."""
+        """Drop every artifact (memory + disk + quarantine); returns the
+        number of live artifacts removed."""
         keys = set(self._memory)
         self._memory.clear()
         self._memory_used = 0
+        self._verified.clear()
         if self.cache_dir is not None:
             self._sweep_orphans()
             for path, _, _ in self._disk_listing():
                 keys.add(path.stem)
                 self._remove_entry(path)
+            if self.quarantine_dir.is_dir():
+                shutil.rmtree(self.quarantine_dir, ignore_errors=True)
             self._stats["key_stages"].clear()
             self._save_stats()
         return len(keys)
@@ -559,7 +822,7 @@ class StreamingArtifactWriter:
             dir=store._objects_dir, prefix=f"{key}.raw.", suffix=".tmp"
         ))
         self._files: dict[str, str] = {}
-        self._maps: list[np.memmap] = []
+        self._maps: dict[str, np.memmap] = {}
         self._done = False
 
     def create(
@@ -579,18 +842,28 @@ class StreamingArtifactWriter:
             shape=tuple(int(s) for s in shape),
         )
         self._files[name] = filename
-        self._maps.append(mapped)
+        self._maps[name] = mapped
         return mapped
 
     def commit(self, meta: dict) -> Artifact:
-        """Publish the assembled arrays under the store's raw layout."""
+        """Publish the assembled arrays under the store's raw layout.
+
+        Each member's sha256 digest is recorded in the manifest — a
+        streaming read back through the just-written memmaps, never a heap
+        copy — so a later read can detect bit rot in artifacts that were
+        never on the heap to begin with.
+        """
         if self._done:
             raise ConfigurationError("writer already committed or aborted")
-        for mapped in self._maps:
+        self._store.faults.check("store.write", key=self.key)
+        digests = {}
+        for name, mapped in self._maps.items():
             mapped.flush()
+            digests[name] = _member_digest(mapped)
         self._maps.clear()  # drop writable handles before re-opening r/o
         (self._tmp / _RAW_MANIFEST).write_text(
-            json.dumps({"meta": dict(meta), "arrays": self._files})
+            json.dumps({"meta": dict(meta), "arrays": self._files,
+                        "digests": digests})
         )
         final = self._store._raw_path(self.key)
         if final.exists():
@@ -598,7 +871,8 @@ class StreamingArtifactWriter:
         os.rename(self._tmp, final)
         self._done = True
         self._store._object_path(self.key).unlink(missing_ok=True)
-        meta_back, arrays = read_raw_archive(final)
+        meta_back, arrays = read_raw_archive(final, verify=False)
+        self._store._verified.add(self.key)
         self._store._note_owner(self.key, self._stage)
         self._store._evict()
         self._store._record("puts", self._stage)

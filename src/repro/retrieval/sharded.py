@@ -15,13 +15,37 @@ facade keeps one append-only ``local -> global`` id array per shard (global
 ids are assigned monotonically, so each array stays sorted and the reverse
 ``global -> local`` lookup is a binary search).  Children never renumber on
 ``remove``, so the arrays are valid for the lifetime of the index.
+
+**Graceful degradation** (PR 7): every shard sits behind a
+:class:`~repro.utils.retry.CircuitBreaker`.  A shard that raises during
+fan-out records a breaker failure and drops out of the merge — the query
+still answers from the surviving shards, flagged via
+:attr:`ShardedIndex.last_query_degraded` (missing tail positions pad with
+id ``-1`` / distance ``n_bits + 1``).  After ``breaker_threshold``
+consecutive failures the circuit opens and the shard is skipped without
+paying its failure latency until ``breaker_reset_s`` passes, when one
+half-open probe is let through; a probe success closes the circuit and
+:attr:`ShardedIndex.degraded` clears.  Only when *no* shard can answer
+does the query raise :class:`~repro.errors.ShardUnavailableError`.
+Degraded results never enter the facade's query cache.  Each shard call
+first consults the index's :class:`~repro.utils.faults.FaultInjector` at
+the ``shard.search`` point (with ``shard=<i>`` context), which is how the
+fault-scale bench kills one shard deterministically.
 """
 
 from __future__ import annotations
 
+import time
+from collections.abc import Callable
+
 import numpy as np
 
-from repro.errors import ConfigurationError, NotFittedError, ShapeError
+from repro.errors import (
+    ConfigurationError,
+    NotFittedError,
+    ShapeError,
+    ShardUnavailableError,
+)
 from repro.retrieval.backend import (
     QueryResultCache,
     RetrievalBackend,
@@ -30,9 +54,14 @@ from repro.retrieval.backend import (
     make_backend,
     register_backend,
 )
+from repro.utils.faults import NULL_INJECTOR, FaultInjector
+from repro.utils.retry import CLOSED, CircuitBreaker
 from repro.utils.validation import check_binary_codes
 
 _EMPTY_IDS = np.empty(0, dtype=np.int64)
+
+#: Sentinel id padding partial (degraded) top-k rows past the last real hit.
+MISSING_ID = -1
 
 
 @register_backend("sharded")
@@ -54,6 +83,13 @@ class ShardedIndex:
     shard_options:
         Extra keyword arguments forwarded to every shard's constructor
         (e.g. ``{"n_tables": 4}`` for multi-index shards).
+    breaker_threshold / breaker_reset_s / clock:
+        Per-shard :class:`~repro.utils.retry.CircuitBreaker` tuning:
+        consecutive failures before a shard's circuit opens, seconds until
+        the half-open probe, and the (injectable) monotonic clock.
+    faults:
+        :class:`~repro.utils.faults.FaultInjector` consulted at the
+        ``shard.search`` point before every shard call.
     """
 
     def __init__(
@@ -63,6 +99,10 @@ class ShardedIndex:
         shard_backend: str = "bruteforce",
         cache_size: int = 0,
         shard_options: dict | None = None,
+        breaker_threshold: int = 3,
+        breaker_reset_s: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+        faults: FaultInjector = NULL_INJECTOR,
     ) -> None:
         if n_bits <= 0:
             raise ShapeError(f"n_bits must be positive: {n_bits}")
@@ -74,10 +114,18 @@ class ShardedIndex:
         self.n_shards = n_shards
         self.shard_backend = shard_backend
         self.shard_options = dict(shard_options or {})
+        self.faults = faults
         self._shards: list[RetrievalBackend] = [
             make_backend(shard_backend, n_bits, **self.shard_options)
             for _ in range(n_shards)
         ]
+        self._breakers: list[CircuitBreaker] = [
+            CircuitBreaker(failure_threshold=breaker_threshold,
+                           reset_timeout_s=breaker_reset_s, clock=clock)
+            for _ in range(n_shards)
+        ]
+        #: Whether the most recent fan-out answered from a shard subset.
+        self.last_query_degraded = False
         #: Per shard: global id of every row ever added, in the child's
         #: insertion (= local id) order.  Sorted ascending by construction.
         self._shard_gids: list[np.ndarray] = [
@@ -147,6 +195,23 @@ class ShardedIndex:
         """The child backends (read-only view; do not mutate directly)."""
         return tuple(self._shards)
 
+    @property
+    def breakers(self) -> tuple[CircuitBreaker, ...]:
+        """The per-shard circuit breakers (read-only view)."""
+        return tuple(self._breakers)
+
+    @property
+    def degraded(self) -> bool:
+        """Whether any shard's circuit is currently not closed."""
+        return any(b.state != CLOSED for b in self._breakers)
+
+    def circuit_states(self) -> list[dict]:
+        """Per-shard breaker state/counters for ``health()`` reports."""
+        return [
+            {"shard": si, **breaker.stats()}
+            for si, breaker in enumerate(self._breakers)
+        ]
+
     # -- validation -------------------------------------------------------------
 
     def _check_codes(self, codes: np.ndarray, name: str = "codes") -> np.ndarray:
@@ -163,20 +228,58 @@ class ShardedIndex:
 
     # -- queries ----------------------------------------------------------------
 
+    def _shard_call(self, si: int, op: Callable[[], object]) -> object | None:
+        """Run one shard operation under its circuit breaker.
+
+        Returns the operation's result, or ``None`` when the shard is
+        skipped (circuit open) or fails (failure recorded, query degrades).
+        """
+        breaker = self._breakers[si]
+        if not breaker.allow():
+            return None
+        try:
+            self.faults.check("shard.search", shard=si)
+            result = op()
+        except Exception:
+            breaker.record_failure()
+            return None
+        breaker.record_success()
+        return result
+
     def _fan_out_topk(
         self, query_codes: np.ndarray, top_k: int
     ) -> tuple[np.ndarray, np.ndarray]:
-        """Search every non-empty shard and merge by (distance, global id)."""
+        """Search every non-empty shard and merge by (distance, global id).
+
+        A failing or circuit-open shard drops out of the merge: the query
+        degrades to the surviving shards (``last_query_degraded=True``,
+        missing tail positions padded with ``MISSING_ID`` / ``n_bits + 1``)
+        instead of failing, unless *every* shard is unavailable.
+        """
         gid_blocks = []
         dist_blocks = []
+        degraded = False
         for si, shard in enumerate(self._shards):
             n_rows = len(shard)
             if n_rows == 0:
                 continue
-            local_ids, dist = shard.search(query_codes,
-                                           top_k=min(top_k, n_rows))
+            result = self._shard_call(
+                si, lambda: self._shards[si].search(  # noqa: B023
+                    query_codes, top_k=min(top_k, n_rows))
+            )
+            if result is None:
+                degraded = True
+                continue
+            local_ids, dist = result
             gid_blocks.append(self._shard_gids[si][local_ids])
             dist_blocks.append(dist)
+        if not gid_blocks:
+            self.last_query_degraded = True
+            raise ShardUnavailableError(
+                f"all {self.n_shards} shards are unavailable; "
+                f"no shard could answer this query"
+            )
+        self.last_query_degraded = degraded
         all_gids = np.concatenate(gid_blocks, axis=1)
         all_dist = np.concatenate(dist_blocks, axis=1)
         # One composite int key per candidate gives a row-wise lexsort by
@@ -185,10 +288,17 @@ class ShardedIndex:
         composite = (all_dist.astype(np.int64) * np.int64(self._next_id)
                      + all_gids)
         order = np.argsort(composite, axis=1, kind="stable")[:, :top_k]
-        return (
-            np.take_along_axis(all_gids, order, axis=1),
-            np.take_along_axis(all_dist, order, axis=1),
-        )
+        merged_gids = np.take_along_axis(all_gids, order, axis=1)
+        merged_dist = np.take_along_axis(all_dist, order, axis=1)
+        if merged_gids.shape[1] < top_k:
+            # Degraded answer with fewer survivors than top_k: pad the tail
+            # so the result shape stays (n, top_k) for every caller.
+            pad = top_k - merged_gids.shape[1]
+            merged_gids = np.pad(merged_gids, ((0, 0), (0, pad)),
+                                 constant_values=MISSING_ID)
+            merged_dist = np.pad(merged_dist, ((0, 0), (0, pad)),
+                                 constant_values=self.n_bits + 1)
+        return merged_gids, merged_dist
 
     def search(
         self, query_codes: np.ndarray, top_k: int = 10
@@ -200,12 +310,18 @@ class ShardedIndex:
                 f"top_k must be in [1, {self._n_alive}], got {top_k}"
             )
         query_codes = self._check_codes(query_codes, "query_codes")
-        if self._cache is None:
+        self.last_query_degraded = False
+        if self._cache is None or self.degraded:
+            # While any circuit is open the cache is bypassed entirely so
+            # partial answers are never stored or served as full ones.
             return self._fan_out_topk(query_codes, top_k)
-        return cached_topk(
+        out = cached_topk(
             self._cache, np.packbits(query_codes > 0, axis=1), top_k,
             lambda misses: self._fan_out_topk(query_codes[misses], top_k),
         )
+        if self.last_query_degraded:
+            self._cache.clear()  # a shard failed mid-fill; drop partials
+        return out
 
     def _fan_out_radius(
         self, query_codes: np.ndarray, radius: int
@@ -213,13 +329,28 @@ class ShardedIndex:
         per_query: list[list[np.ndarray]] = [
             [] for _ in range(query_codes.shape[0])
         ]
+        degraded = False
+        answered = False
         for si, shard in enumerate(self._shards):
             if len(shard) == 0:
                 continue
-            for qi, local_hits in enumerate(
-                shard.radius_search(query_codes, radius)
-            ):
+            hits = self._shard_call(
+                si, lambda: self._shards[si].radius_search(  # noqa: B023
+                    query_codes, radius)
+            )
+            if hits is None:
+                degraded = True
+                continue
+            answered = True
+            for qi, local_hits in enumerate(hits):
                 per_query[qi].append(self._shard_gids[si][local_hits])
+        if not answered and degraded:
+            self.last_query_degraded = True
+            raise ShardUnavailableError(
+                f"all {self.n_shards} shards are unavailable; "
+                f"no shard could answer this query"
+            )
+        self.last_query_degraded = degraded
         return [
             np.sort(np.concatenate(blocks)) if blocks else _EMPTY_IDS.copy()
             for blocks in per_query
@@ -235,9 +366,13 @@ class ShardedIndex:
                 f"radius must be in [0, {self.n_bits}], got {radius}"
             )
         query_codes = self._check_codes(query_codes, "query_codes")
-        if self._cache is None:
+        self.last_query_degraded = False
+        if self._cache is None or self.degraded:
             return self._fan_out_radius(query_codes, radius)
-        return cached_radius(
+        out = cached_radius(
             self._cache, np.packbits(query_codes > 0, axis=1), radius,
             lambda misses: self._fan_out_radius(query_codes[misses], radius),
         )
+        if self.last_query_degraded:
+            self._cache.clear()
+        return out

@@ -14,6 +14,16 @@ The batcher follows the encoder's dtype policy: pending rows are stacked
 directly in the network's training dtype (``float32`` engines never pay a
 float64 round trip on the hot path).
 
+Failure isolation (PR 7): a batch forward that raises must not take every
+co-batched caller down with it, and above all must never leave a ticket
+permanently unresolved.  When the batched forward fails, the flush re-runs
+each pending row as its own one-row forward: rows that succeed resolve
+normally, rows that keep failing resolve to a **typed error** (a
+:class:`~repro.errors.ReproError`; foreign exceptions are wrapped in
+:class:`~repro.errors.TransientError`) which :meth:`EncodeTicket.result`
+raises to exactly that caller.  The forward consults the batcher's
+:class:`~repro.utils.faults.FaultInjector` at the ``encode.forward`` point.
+
 Everything is synchronous and single-threaded — deliberate for this CPU
 reproduction: the batcher is the coalescing *policy*, and an async front
 end would own the event loop around it.
@@ -27,27 +37,51 @@ from collections.abc import Callable
 
 import numpy as np
 
-from repro.errors import ConfigurationError, ShapeError
+from repro.errors import (
+    ConfigurationError,
+    ReproError,
+    ShapeError,
+    TransientError,
+)
+from repro.utils.faults import NULL_INJECTOR, FaultInjector
 
 
 class EncodeTicket:
-    """Handle to one submitted query; resolves when its batch flushes."""
+    """Handle to one submitted query; resolves when its batch flushes.
 
-    __slots__ = ("_batcher", "_code")
+    A ticket resolves to either a code row or a typed error — never to
+    nothing: ``result()`` forces the owning batcher to flush, so a caller
+    can never hang on its own request.
+    """
+
+    __slots__ = ("_batcher", "_code", "_error")
 
     def __init__(self, batcher: "EncodeBatcher") -> None:
         self._batcher = batcher
         self._code: np.ndarray | None = None
+        self._error: BaseException | None = None
 
     @property
     def ready(self) -> bool:
         """Whether the batch holding this request has already flushed."""
-        return self._code is not None
+        return self._code is not None or self._error is not None
+
+    @property
+    def failed(self) -> bool:
+        """Whether this request resolved to an error."""
+        return self._error is not None
 
     def result(self) -> np.ndarray:
-        """The ±1 code row, flushing the owning batcher if still pending."""
-        if self._code is None:
+        """The ±1 code row, flushing the owning batcher if still pending.
+
+        Raises the typed error this request resolved to, if its encode
+        failed — only this caller sees it; co-batched requests that
+        encoded fine resolve normally.
+        """
+        if not self.ready:
             self._batcher.flush()
+        if self._error is not None:
+            raise self._error
         assert self._code is not None
         return self._code
 
@@ -68,6 +102,9 @@ class EncodeBatcher:
         this long (checked on every ``submit``/``poll``).
     clock:
         Monotonic time source, injectable for deterministic tests.
+    faults:
+        :class:`~repro.utils.faults.FaultInjector` consulted at the
+        ``encode.forward`` point before every network forward.
     """
 
     def __init__(
@@ -76,6 +113,7 @@ class EncodeBatcher:
         max_batch: int = 256,
         max_delay_s: float = 0.002,
         clock: Callable[[], float] = time.monotonic,
+        faults: FaultInjector = NULL_INJECTOR,
     ) -> None:
         if max_batch <= 0:
             raise ConfigurationError(f"max_batch must be positive: {max_batch}")
@@ -89,11 +127,15 @@ class EncodeBatcher:
         self.max_batch = max_batch
         self.max_delay_s = max_delay_s
         self._clock = clock
+        self.faults = faults
         self._pending: list[tuple[np.ndarray, EncodeTicket]] = []
         self._oldest: float | None = None
         self.requests = 0
         self.flushes = 0
         self.deadline_flushes = 0
+        self.flush_failures = 0
+        self.isolation_flushes = 0
+        self.poisoned = 0
         self.flush_sizes: Counter[int] = Counter()
 
     # -- queue ------------------------------------------------------------------
@@ -132,16 +174,59 @@ class EncodeBatcher:
             return True
         return False
 
+    def _forward(self, matrix: np.ndarray) -> np.ndarray:
+        """One guarded network forward (the ``encode.forward`` fault point)."""
+        self.faults.check("encode.forward")
+        return self._encode(matrix)
+
+    @staticmethod
+    def _typed(exc: BaseException) -> BaseException:
+        """The error a poisoned ticket resolves to: always a ReproError."""
+        if isinstance(exc, ReproError):
+            return exc
+        typed = TransientError(f"encode failed: {exc!r}")
+        typed.__cause__ = exc
+        return typed
+
     def flush(self) -> int:
-        """Encode every pending request in one forward; returns batch size."""
+        """Encode every pending request in one forward; returns batch size.
+
+        A failing batched forward falls back to one-row forwards so a
+        poisoned request fails alone: healthy co-batched rows resolve
+        normally, each failing row's ticket resolves to a typed error that
+        ``result()`` raises to its caller.  Every pending ticket resolves
+        one way or the other — a flush can never strand a request.
+        """
         if not self._pending:
             return 0
         pending, self._pending = self._pending, []
         self._oldest = None
         batch = np.stack([vector for vector, _ in pending])
-        codes = self._encode(batch)
-        for row, (_, ticket) in enumerate(pending):
-            ticket._code = codes[row]
+        try:
+            codes = self._forward(batch)
+            if np.asarray(codes).shape[0] != len(pending):
+                raise ShapeError(
+                    f"encoder returned {np.asarray(codes).shape[0]} rows "
+                    f"for a {len(pending)}-row batch"
+                )
+        except Exception as exc:
+            self.flush_failures += 1
+            if len(pending) == 1:
+                pending[0][1]._error = self._typed(exc)
+                self.poisoned += 1
+            else:
+                # Isolate the poison: re-run each row on its own so one bad
+                # request cannot fail the whole cohort.
+                self.isolation_flushes += 1
+                for vector, ticket in pending:
+                    try:
+                        ticket._code = self._forward(vector[None])[0]
+                    except Exception as row_exc:
+                        ticket._error = self._typed(row_exc)
+                        self.poisoned += 1
+        else:
+            for row, (_, ticket) in enumerate(pending):
+                ticket._code = codes[row]
         self.flushes += 1
         self.flush_sizes[len(pending)] += 1
         return len(pending)
@@ -154,6 +239,9 @@ class EncodeBatcher:
             "requests": self.requests,
             "flushes": self.flushes,
             "deadline_flushes": self.deadline_flushes,
+            "flush_failures": self.flush_failures,
+            "isolation_flushes": self.isolation_flushes,
+            "poisoned": self.poisoned,
             "pending": len(self._pending),
             "max_batch": self.max_batch,
             "max_delay_s": self.max_delay_s,

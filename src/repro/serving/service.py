@@ -32,7 +32,12 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.errors import ConfigurationError, ShapeError
+from repro.errors import (
+    ConfigurationError,
+    DeadlineExceededError,
+    OverloadedError,
+    ShapeError,
+)
 from repro.pipeline import (
     CODE_FORMAT_VERSION,
     ArtifactStore,
@@ -44,7 +49,9 @@ from repro.pipeline import (
 )
 from repro.retrieval.backend import make_backend
 from repro.retrieval.hamming import PackedCodes, unpack_codes
+from repro.retrieval.sharded import MISSING_ID
 from repro.serving.batcher import EncodeBatcher
+from repro.utils.faults import NULL_INJECTOR, FaultInjector
 
 #: Store stage names owned by the serving layer.
 MODEL_STAGE = "serve_model"
@@ -138,6 +145,19 @@ class HashingService:
     model_key:
         Provenance fingerprint of the encoder used to address index
         snapshots; derived from the trained parameters when omitted.
+    max_pending:
+        Bounded-queue load shedding: a ``query``/``add`` burst that would
+        push the batcher's pending queue past this many rows is rejected
+        up front with :class:`~repro.errors.OverloadedError` instead of
+        being allowed to grow the queue without bound.  ``None`` (default)
+        disables shedding.
+    default_deadline_s:
+        Per-query latency budget applied when ``query`` is called without
+        an explicit ``deadline_s``; ``None`` disables the budget.
+    faults:
+        :class:`~repro.utils.faults.FaultInjector` threaded into the
+        batcher (``encode.forward``) and, for the sharded backend, into
+        per-shard fan-out (``shard.search``).
     """
 
     def __init__(
@@ -155,7 +175,19 @@ class HashingService:
         clock: Callable[[], float] = time.monotonic,
         model_key: str | None = None,
         n_bits: int | None = None,
+        max_pending: int | None = None,
+        default_deadline_s: float | None = None,
+        faults: FaultInjector = NULL_INJECTOR,
     ) -> None:
+        if max_pending is not None and max_pending <= 0:
+            raise ConfigurationError(
+                f"max_pending must be positive (or None): {max_pending}"
+            )
+        if default_deadline_s is not None and default_deadline_s <= 0:
+            raise ConfigurationError(
+                f"default_deadline_s must be positive (or None): "
+                f"{default_deadline_s}"
+            )
         self.encoder = encoder
         self._encode = encoder.encode if hasattr(encoder, "encode") else encoder
         self.n_bits = n_bits if n_bits is not None else _encoder_bits(encoder)
@@ -163,16 +195,25 @@ class HashingService:
         self.backend_name = backend
         self.model_key = (model_key if model_key is not None
                           else _encoder_fingerprint(encoder, self.n_bits))
+        self.max_pending = max_pending
+        self.default_deadline_s = default_deadline_s
+        self.faults = faults
+        self._clock = clock
         options = dict(backend_options or {})
         if backend == "sharded":
             options.setdefault("n_shards", n_shards)
             options.setdefault("shard_backend", shard_backend)
+            options.setdefault("faults", faults)
+            options.setdefault("clock", clock)
         if cache_size:
             options.setdefault("cache_size", cache_size)
         self.index = make_backend(backend, self.n_bits, **options)
         self.batcher = EncodeBatcher(
-            encoder, max_batch=max_batch, max_delay_s=max_delay_s, clock=clock
+            encoder, max_batch=max_batch, max_delay_s=max_delay_s,
+            clock=clock, faults=faults,
         )
+        self._shed = 0
+        self._deadline_exceeded = 0
         #: External id of every internal (insertion-order) id ever assigned.
         self._ext_ids = np.empty(0, dtype=np.int64)
         #: external -> internal for the alive rows.
@@ -364,7 +405,10 @@ class HashingService:
     # -- queries ----------------------------------------------------------------
 
     def query(
-        self, vectors: np.ndarray, top_k: int = 10
+        self,
+        vectors: np.ndarray,
+        top_k: int = 10,
+        deadline_s: float | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
         """Encode queries through the micro-batcher and search the index.
 
@@ -372,22 +416,106 @@ class HashingService:
         every row rides the batcher, so a burst of requests coalesces into
         ``ceil(n / max_batch)`` network forwards and one fan-out search.
         Returns ``(external_ids, distances)``, both ``(n, top_k)``.
+
+        Fault surface: when the service is overloaded (``max_pending``)
+        the whole request is shed up front with
+        :class:`~repro.errors.OverloadedError` — no partial enqueue.  A
+        ``deadline_s`` budget (defaulting to ``default_deadline_s``) is
+        checked between the encode and search stages and raises
+        :class:`~repro.errors.DeadlineExceededError` once blown.  Under a
+        degraded sharded index, rows lost with a downed shard come back
+        padded: external id ``-1`` with distance ``n_bits + 1``;
+        :attr:`last_query_degraded` reports whether this query was partial.
         """
         vectors = np.asarray(vectors)  # the batcher casts per dtype policy
         if vectors.ndim == 1:
             vectors = vectors[None, :]
         if vectors.shape[0] == 0:
             raise ShapeError("query needs at least one vector")
+        if (self.max_pending is not None
+                and len(self.batcher) + vectors.shape[0] > self.max_pending):
+            self._shed += vectors.shape[0]
+            raise OverloadedError(
+                f"query of {vectors.shape[0]} row(s) would exceed the "
+                f"pending bound ({len(self.batcher)} pending, "
+                f"max_pending={self.max_pending})"
+            )
+        deadline = deadline_s if deadline_s is not None else self.default_deadline_s
+        start = self._clock()
         tickets = [self.batcher.submit(row) for row in vectors]
         self.batcher.flush()  # resolve the tail below max_batch
         codes = np.stack([ticket.result() for ticket in tickets])
+        self._check_deadline(start, deadline, stage="encode")
         internal, distances = self.index.search(codes, top_k=top_k)
+        self._check_deadline(start, deadline, stage="search")
+        # A degraded fan-out pads lost rows with MISSING_ID; keep the
+        # sentinel out of the external-id table (clipping would alias it
+        # to a real row).
+        missing = internal == MISSING_ID
+        if missing.any():
+            external = np.where(missing, np.int64(MISSING_ID),
+                                self._ext_ids[np.where(missing, 0, internal)])
+            return external, distances
         return self._ext_ids[internal], distances
+
+    def _check_deadline(
+        self, start: float, deadline: float | None, stage: str
+    ) -> None:
+        if deadline is None:
+            return
+        elapsed = self._clock() - start
+        if elapsed > deadline:
+            self._deadline_exceeded += 1
+            raise DeadlineExceededError(
+                f"query blew its {deadline:.6g}s budget after the {stage} "
+                f"stage ({elapsed:.6g}s elapsed)"
+            )
+
+    @property
+    def last_query_degraded(self) -> bool:
+        """Whether the most recent query returned partial (padded) results."""
+        return bool(getattr(self.index, "last_query_degraded", False))
 
     def __len__(self) -> int:
         return len(self.index)
 
     # -- reporting --------------------------------------------------------------
+
+    def health(self) -> dict:
+        """One-call resilience report for operators and the serve CLI.
+
+        ``status`` is ``"ok"`` when every shard circuit is closed and
+        ``"degraded"`` while any circuit is open or half-open (queries
+        keep answering, partially).  The rest is the raw evidence: per-
+        shard circuit states, the store's corruption/quarantine/retry
+        counters, the batcher's poison counters, and the service-level
+        shed/deadline counters.
+        """
+        degraded = bool(getattr(self.index, "degraded", False))
+        circuits = getattr(self.index, "circuit_states", None)
+        batcher = self.batcher.stats()
+        report: dict = {
+            "status": "degraded" if degraded else "ok",
+            "degraded": degraded,
+            "circuits": circuits() if circuits is not None else [],
+            "batcher": {
+                key: batcher[key]
+                for key in ("pending", "flush_failures",
+                            "isolation_flushes", "poisoned")
+            },
+            "shed": self._shed,
+            "deadline_exceeded": self._deadline_exceeded,
+            "store": None,
+        }
+        if self.store is not None:
+            stats = self.store.stats()
+            report["store"] = {
+                key: stats[key]
+                for key in ("corruptions", "quarantined", "retries",
+                            "read_failures", "put_failures",
+                            "quarantine_entries")
+            }
+        return report
 
     def stats(self) -> dict:
         """Serving counters: shard sizes, batcher histogram, cache rates."""
@@ -399,6 +527,8 @@ class HashingService:
                 getattr(self.index, "shard_sizes", (len(self.index),))
             ),
             "batcher": self.batcher.stats(),
+            "shed": self._shed,
+            "deadline_exceeded": self._deadline_exceeded,
             "database": {
                 "encodes": self._db_encodes,
                 "warm_loads": self._warm_loads,

@@ -1,5 +1,8 @@
-"""Shared utilities: deterministic RNG plumbing, stable math, timing, tables."""
+"""Shared utilities: deterministic RNG plumbing, stable math, timing,
+tables, and the resilience primitives (fault injection, retries, circuit
+breakers)."""
 
+from repro.utils.faults import NULL_INJECTOR, FaultInjector, FaultRule
 from repro.utils.mathops import (
     cosine_similarity_matrix,
     l2_normalize,
@@ -8,6 +11,7 @@ from repro.utils.mathops import (
     softmax,
     stable_exp,
 )
+from repro.utils.retry import CircuitBreaker, RetryPolicy
 from repro.utils.rng import RngMixin, as_generator, spawn
 from repro.utils.tables import format_float, render_table
 from repro.utils.timer import Timer
@@ -20,6 +24,11 @@ from repro.utils.validation import (
 )
 
 __all__ = [
+    "CircuitBreaker",
+    "FaultInjector",
+    "FaultRule",
+    "NULL_INJECTOR",
+    "RetryPolicy",
     "RngMixin",
     "Timer",
     "as_generator",

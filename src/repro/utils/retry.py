@@ -1,0 +1,209 @@
+"""Resilience primitives: bounded retries and circuit breakers.
+
+:class:`RetryPolicy` re-runs an operation that raised a *transient* error —
+bounded attempts, exponential backoff, deterministic jitter — with the
+clock and sleep injectable so tests and benches never actually wait.
+:class:`CircuitBreaker` guards a dependency that keeps failing: after
+``failure_threshold`` consecutive failures it *opens* (callers skip the
+dependency instead of paying the failure latency), after
+``reset_timeout_s`` it lets one probe through (*half-open*), and a probe
+success closes it again.
+
+Both are deliberately synchronous and allocation-free on the happy path:
+the serving layer wraps them around store I/O and shard fan-outs, which
+are per-artifact / per-batch operations, not per-row ones.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.errors import ConfigurationError, TransientError
+
+#: Exception types retried by default: injected/declared transients plus
+#: the OS-level errors a flaky disk or network filesystem produces.
+DEFAULT_RETRY_ON: tuple[type[BaseException], ...] = (TransientError, OSError)
+
+
+class RetryPolicy:
+    """Bounded retry with exponential backoff and deterministic jitter.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total tries including the first (1 = no retry).
+    base_delay_s / multiplier / max_delay_s:
+        Backoff before attempt ``i`` (2-based) is
+        ``min(base_delay_s * multiplier**(i-2), max_delay_s)``, scaled by
+        the jitter factor.
+    jitter:
+        Fractional jitter amplitude: each delay is multiplied by a value
+        in ``[1-jitter, 1+jitter]`` drawn from a generator seeded with
+        ``seed`` — the same schedule every run, but de-synchronized
+        between policy instances with different seeds.
+    retry_on:
+        Exception types worth retrying; anything else propagates
+        immediately (corruption is never transient).
+    sleep / clock:
+        Injectable so tests pass a no-op sleep; ``clock`` feeds the
+        ``last_elapsed_s`` diagnostic.
+    """
+
+    def __init__(
+        self,
+        max_attempts: int = 3,
+        base_delay_s: float = 0.01,
+        multiplier: float = 2.0,
+        max_delay_s: float = 1.0,
+        jitter: float = 0.1,
+        seed: int = 0,
+        retry_on: tuple[type[BaseException], ...] = DEFAULT_RETRY_ON,
+        sleep: Callable[[float], None] = time.sleep,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_attempts < 1:
+            raise ConfigurationError(
+                f"max_attempts must be >= 1: {max_attempts}"
+            )
+        if base_delay_s < 0 or max_delay_s < 0:
+            raise ConfigurationError("delays must be >= 0")
+        if multiplier < 1.0:
+            raise ConfigurationError(f"multiplier must be >= 1: {multiplier}")
+        if not 0.0 <= jitter < 1.0:
+            raise ConfigurationError(f"jitter must be in [0, 1): {jitter}")
+        self.max_attempts = max_attempts
+        self.base_delay_s = base_delay_s
+        self.multiplier = multiplier
+        self.max_delay_s = max_delay_s
+        self.jitter = jitter
+        self.retry_on = retry_on
+        self._sleep = sleep
+        self._clock = clock
+        self._rng = np.random.default_rng(seed)
+        #: Cumulative number of *re*-tries performed (attempt 1 is free).
+        self.retries = 0
+        #: Operations that still failed after the final attempt.
+        self.exhausted = 0
+        self.last_elapsed_s = 0.0
+
+    def delay_s(self, attempt: int) -> float:
+        """Backoff before ``attempt`` (2-based); advances the jitter stream."""
+        raw = min(
+            self.base_delay_s * self.multiplier ** (attempt - 2),
+            self.max_delay_s,
+        )
+        if self.jitter:
+            raw *= 1.0 + self.jitter * (2.0 * self._rng.random() - 1.0)
+        return raw
+
+    def call(self, fn: Callable[[], object], label: str = "operation"):
+        """Run ``fn`` under this policy; returns its value.
+
+        Retries only ``retry_on`` exceptions; the final failure re-raises
+        the last exception unchanged so callers still see the real type.
+        """
+        t0 = self._clock()
+        try:
+            for attempt in range(1, self.max_attempts + 1):
+                try:
+                    return fn()
+                except self.retry_on:
+                    if attempt == self.max_attempts:
+                        self.exhausted += 1
+                        raise
+                    self.retries += 1
+                    self._sleep(self.delay_s(attempt + 1))
+        finally:
+            self.last_elapsed_s = self._clock() - t0
+
+    def stats(self) -> dict:
+        return {
+            "max_attempts": self.max_attempts,
+            "retries": self.retries,
+            "exhausted": self.exhausted,
+        }
+
+
+#: Circuit states.
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker with timed half-open probes.
+
+    ``allow()`` gates each call: ``True`` in the closed state, ``False``
+    while open, and ``True`` exactly once per ``reset_timeout_s`` window
+    once open (the half-open probe).  The caller reports the outcome via
+    ``record_success()`` / ``record_failure()``; a probe success closes the
+    circuit, a probe failure re-opens it and restarts the timer.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        reset_timeout_s: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ConfigurationError(
+                f"failure_threshold must be >= 1: {failure_threshold}"
+            )
+        if reset_timeout_s < 0:
+            raise ConfigurationError(
+                f"reset_timeout_s must be >= 0: {reset_timeout_s}"
+            )
+        self.failure_threshold = failure_threshold
+        self.reset_timeout_s = reset_timeout_s
+        self._clock = clock
+        self.state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at: float | None = None
+        self.failures = 0
+        self.successes = 0
+        self.openings = 0
+
+    def allow(self) -> bool:
+        """Whether the guarded call may proceed right now."""
+        if self.state == CLOSED:
+            return True
+        if self.state == OPEN:
+            assert self._opened_at is not None
+            if self._clock() - self._opened_at >= self.reset_timeout_s:
+                self.state = HALF_OPEN
+                return True
+            return False
+        # Half-open: one probe is already in flight this window; further
+        # callers keep failing fast until its outcome is recorded.
+        return False
+
+    def record_success(self) -> None:
+        self.successes += 1
+        self._consecutive_failures = 0
+        if self.state != CLOSED:
+            self.state = CLOSED
+            self._opened_at = None
+
+    def record_failure(self) -> None:
+        self.failures += 1
+        self._consecutive_failures += 1
+        if self.state == HALF_OPEN or (
+            self.state == CLOSED
+            and self._consecutive_failures >= self.failure_threshold
+        ):
+            self.state = OPEN
+            self._opened_at = self._clock()
+            self.openings += 1
+
+    def stats(self) -> dict:
+        return {
+            "state": self.state,
+            "failures": self.failures,
+            "successes": self.successes,
+            "openings": self.openings,
+            "consecutive_failures": self._consecutive_failures,
+        }

@@ -100,3 +100,112 @@ class TestConfigBoundaries:
         model = UHSCM(cfg, clip=clip)
         model.fit(cifar_tiny.train_images[:40])
         assert np.isfinite(model.history_.total[-1])
+
+
+class TestCorruptedArtifacts:
+    """On-disk artifact damage must quarantine + rebuild, never crash."""
+
+    KEY = "f" * 64
+
+    def _store(self, tmp_path, **kwargs):
+        from repro.pipeline import ArtifactStore
+
+        return ArtifactStore(tmp_path / "cache", **kwargs)
+
+    def test_corrupt_raw_member_is_quarantined(self, tmp_path):
+        store = self._store(tmp_path, mmap_threshold_bytes=1)
+        arrays = {"x": np.arange(64, dtype=np.float64)}
+        store.put(self.KEY, {"n": 64}, arrays, stage="unit")
+        raw_dir = store.cache_dir / "objects" / f"{self.KEY}.raw"
+        member = raw_dir / "a0.npy"  # the sole array's member file
+        blob = bytearray(member.read_bytes())
+        blob[-8] ^= 0xFF  # surgical flip: structure intact, content wrong
+        member.write_bytes(bytes(blob))
+
+        fresh = self._store(tmp_path, mmap_threshold_bytes=1)
+        assert fresh.get(self.KEY, stage="unit") is None
+        assert not raw_dir.exists()
+        assert (fresh.quarantine_dir / f"{self.KEY}.raw").is_dir()
+        stats = fresh.stats()
+        assert stats["corruptions"] == 1 and stats["quarantined"] == 1
+        # Rebuild lands clean at the same address.
+        fresh.put(self.KEY, {"n": 64}, arrays, stage="unit")
+        replay = self._store(tmp_path, mmap_threshold_bytes=1)
+        back = replay.get(self.KEY, stage="unit")
+        assert back is not None
+        np.testing.assert_array_equal(back.arrays["x"], arrays["x"])
+
+    def test_truncated_npz_is_quarantined(self, tmp_path):
+        store = self._store(tmp_path)
+        store.put(self.KEY, {"n": 3},
+                  {"x": np.arange(12, dtype=np.float64)}, stage="unit")
+        path = store.cache_dir / "objects" / f"{self.KEY}.npz"
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) // 2])  # torn write / bad disk
+
+        fresh = self._store(tmp_path)
+        assert fresh.get(self.KEY, stage="unit") is None
+        assert (fresh.quarantine_dir / f"{self.KEY}.npz").exists()
+        assert fresh.stats()["stages"]["unit"]["quarantined"] == 1
+
+
+class TestServingFaults:
+    """Mid-request failures must degrade or fail typed, never hang."""
+
+    def _service(self, n=12, **kwargs):
+        from repro.core.hashing_network import HashingNetwork
+        from repro.serving import HashingService
+
+        network = HashingNetwork(
+            16, mode="feature", feature_extractor=lambda x: x,
+            feature_dim=8, rng=0,
+        )
+        kwargs.setdefault("n_shards", 3)
+        service = HashingService(network, **kwargs)
+        service.load_database(np.random.default_rng(1).normal(size=(n, 8)))
+        return service
+
+    def test_shard_raising_mid_fanout_degrades(self):
+        service = self._service()
+        # A shard whose backend raises from inside the fan-out: the merge
+        # must degrade to the survivors, not propagate the raw exception.
+        def explode(codes, top_k):
+            raise RuntimeError("shard backend blew up mid-fanout")
+
+        service.index.shards[1].search = explode
+        queries = np.random.default_rng(2).normal(size=(2, 8))
+        ids, dist = service.query(queries, top_k=4)
+        assert service.last_query_degraded
+        assert ids.shape == dist.shape == (2, 4)
+        assert not np.any(ids % 3 == 1)  # nothing from the exploded shard
+
+    def test_batcher_shape_poisoning_under_concurrent_tickets(self):
+        from repro.serving import EncodeBatcher
+
+        class ShapeShifter:
+            """Returns garbage-shaped output when any row is poisoned."""
+
+            n_bits = 16
+            calls = 0
+
+            def encode(self, matrix):
+                self.calls += 1
+                if np.any(matrix[:, 0] > 9):  # the poisoned rows
+                    raise ShapeError("poisoned input row")
+                return np.ones((matrix.shape[0], 16))
+
+        batcher = EncodeBatcher(ShapeShifter(), max_batch=64,
+                                max_delay_s=100.0)
+        rows = np.zeros((6, 8))
+        rows[2, 0] = rows[4, 0] = 10.0  # two poison rows among six tickets
+        tickets = [batcher.submit(row) for row in rows]
+        batcher.flush()
+        assert all(t.ready for t in tickets)  # nobody hangs
+        for ti, ticket in enumerate(tickets):
+            if ti in (2, 4):
+                with pytest.raises(ShapeError):
+                    ticket.result()
+            else:
+                assert ticket.result().shape == (16,)
+        assert batcher.stats()["poisoned"] == 2
+        assert batcher.stats()["isolation_flushes"] == 1
