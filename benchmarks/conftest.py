@@ -12,6 +12,7 @@ covers the arrays a build actually materializes).
 
 from __future__ import annotations
 
+import json
 import time
 import tracemalloc
 from collections.abc import Callable, Iterable
@@ -33,9 +34,25 @@ def results_dir() -> Path:
     return RESULTS_DIR
 
 
-def save_result(results_dir: Path, name: str, content: str) -> None:
+def save_result(
+    results_dir: Path, name: str, content: str, payload: dict | None = None
+) -> None:
+    """Persist one benchmark report as ``<name>.txt`` plus a JSON mirror.
+
+    The txt file keeps the human-readable rendering (what EXPERIMENTS.md
+    assembles); ``<name>.json`` carries the same lines in machine-readable
+    form plus any structured ``payload`` the benchmark supplies (timings,
+    speedups, gate thresholds), so the perf trajectory can be tracked
+    across runs without parsing prose.
+    """
     path = results_dir / f"{name}.txt"
     path.write_text(content + "\n")
+    record = {"name": name, "lines": content.splitlines()}
+    if payload:
+        record.update(payload)
+    (results_dir / f"{name}.json").write_text(
+        json.dumps(record, indent=2, sort_keys=True) + "\n"
+    )
 
 
 def timed(fn: Callable[[], object], repeats: int = 1) -> tuple[float, object]:
@@ -86,14 +103,24 @@ def assert_speedup(
 
     ``lines`` carries the benchmark-specific breakdown; the speedup line is
     appended so every scale benchmark reports its gate identically.  The
-    report is written to ``results/<name>.txt`` before asserting so a failed
-    gate still leaves the measured numbers behind.
+    report is written to ``results/<name>.txt`` (with a structured JSON
+    mirror) before asserting so a failed gate still leaves the measured
+    numbers behind.
     """
     speedup = baseline_seconds / candidate_seconds
     report = "\n".join(
         [*lines, f"speedup  : {speedup:.1f}x (required >= {required:.1f}x)"]
     )
     print("\n" + report)
-    save_result(results_dir, name, report)
+    save_result(
+        results_dir, name, report,
+        payload={
+            "baseline_seconds": baseline_seconds,
+            "candidate_seconds": candidate_seconds,
+            "speedup": speedup,
+            "required_speedup": required,
+            "passed": bool(speedup >= required),
+        },
+    )
     assert speedup >= required, report
     return speedup

@@ -44,6 +44,14 @@ and ``serve`` encodes + registers its database in bounded-memory chunks.
 Outputs are bit-identical to the in-memory paths and share their
 fingerprints, so the two modes replay each other's caches.
 
+``--workers N`` (on ``train`` / ``table1`` / ``table2`` / ``serve`` and
+the bench subcommands; default ``$REPRO_WORKERS``, else 1) runs the
+parallel kernels — the sparse Q build's row tiles, the sharded search
+fan-out, the trainer's one-slot batch prefetch — on N threads through
+the shared :class:`~repro.utils.parallel.WorkerPool`.  Every parallel
+output is bit-identical to the serial path, so ``--workers`` composes
+freely with caching, ``--sparse-topk``, and ``--out-of-core``.
+
 ``serve`` stands up the online serving facade over a dataset's database
 split: the model comes from a persistence archive (``--model model.npz``),
 a store fingerprint published with ``--publish``, or a fresh in-process
@@ -130,6 +138,14 @@ def _add_sparse_topk(parser: argparse.ArgumentParser) -> None:
                              "default: dense paper-parity Q)")
 
 
+def _add_workers(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--workers", type=int, default=None, metavar="N",
+                        help="worker threads for the parallel kernels "
+                             "(Q-build tiles, shard fan-out, training "
+                             "prefetch); outputs are bit-identical at any "
+                             "count (default: $REPRO_WORKERS, else serial)")
+
+
 def _add_out_of_core(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--out-of-core", action="store_true",
                         help="disk-resident large arrays: big store "
@@ -160,6 +176,8 @@ def _cmd_train(args: argparse.Namespace) -> int:
         config = replace(config, sparse_topk=args.sparse_topk)
     if args.out_of_core:
         config = replace(config, out_of_core=True)
+    if args.workers is not None:
+        config = replace(config, workers=args.workers)
     model = UHSCM(config, clip=clip)
     model.fit(data.train_images, store=store,
               data_key=dataset_key(args.dataset, args.scale, args.seed))
@@ -267,7 +285,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     service = HashingService(
         model, store=store, n_shards=args.shards,
         shard_backend=args.shard_backend, cache_size=args.cache_size,
-        max_batch=args.batch,
+        max_batch=args.batch, workers=args.workers,
     )
     service.load_database(
         data.database_images,
@@ -279,8 +297,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     how = "warm snapshot load" if db_stats["warm_loads"] else "cold encode"
     if db_stats["snapshot_mmapped"]:
         how += ", codes memmapped"
-    print(f"index ready: {len(service)} rows in {args.shards} shard(s) "
-          f"({how})")
+    print(f"index ready: {len(service)} rows in {args.shards} shard(s), "
+          f"{service.stats()['workers']} fan-out worker(s) ({how})")
 
     def answer(rows: np.ndarray, top_k: int) -> None:
         ids, dist = service.query(rows, top_k=top_k)
@@ -355,7 +373,7 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
         )
         service = HashingService(network, n_shards=args.shards,
                                  shard_backend=args.shard_backend,
-                                 max_batch=max_batch)
+                                 max_batch=max_batch, workers=args.workers)
         service.load_database(db)
         return service
 
@@ -422,7 +440,8 @@ def _cmd_bench_similarity(args: argparse.Namespace) -> int:
     )
     t_sparse, peak_sparse, sparse = measure(
         lambda: SparseTopKSimilarity.from_features(
-            features, args.topk, block_rows=args.block_rows
+            features, args.topk, block_rows=args.block_rows,
+            workers=args.workers,
         )
     )
     print(f"  dense  : {t_dense * 1e3:9.1f} ms   peak {peak_dense / 1e6:8.1f} MB"
@@ -470,6 +489,7 @@ def _cmd_bench_train(args: argparse.Namespace) -> int:
         for dtype in ("float64", "float32"):
             config = UHSCMConfig(
                 n_bits=args.bits,
+                workers=args.workers,
                 train=TrainConfig(batch_size=args.batch, epochs=args.epochs,
                                   dtype=dtype),
             )
@@ -501,7 +521,8 @@ def _cmd_table1(args: argparse.Namespace) -> int:
                        datasets=(args.dataset,), seed=args.seed,
                        epochs=args.epochs, store=store,
                        sparse_topk=args.sparse_topk,
-                       out_of_core=args.out_of_core)
+                       out_of_core=args.out_of_core,
+                       workers=args.workers)
     print(table.render())
     _print_store_summary(store)
     return 0
@@ -515,7 +536,8 @@ def _cmd_table2(args: argparse.Namespace) -> int:
                        datasets=(args.dataset,), seed=args.seed,
                        epochs=args.epochs, store=store,
                        sparse_topk=args.sparse_topk,
-                       out_of_core=args.out_of_core)
+                       out_of_core=args.out_of_core,
+                       workers=args.workers)
     print(table.render())
     _print_store_summary(store)
     return 0
@@ -579,6 +601,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_cache_dir(p_train)
     _add_sparse_topk(p_train)
     _add_out_of_core(p_train)
+    _add_workers(p_train)
     p_train.add_argument("--bits", type=int, default=64)
     p_train.add_argument("--out", default=None, help="save model here (.npz)")
     p_train.set_defaults(func=_cmd_train)
@@ -617,6 +640,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(p_serve)
     _add_cache_dir(p_serve)
     _add_out_of_core(p_serve)
+    _add_workers(p_serve)
     p_serve.add_argument("--model", default=None,
                          help="model source: persistence archive path or "
                               "store fingerprint (default: train fresh)")
@@ -658,6 +682,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_bserve.add_argument("--batch", type=int, default=256,
                           help="encode micro-batch size for the batched run")
     p_bserve.add_argument("--seed", type=int, default=0)
+    _add_workers(p_bserve)
     p_bserve.set_defaults(func=_cmd_bench_serve)
 
     p_btrain = sub.add_parser(
@@ -672,6 +697,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_btrain.add_argument("--batch", type=int, default=128)
     p_btrain.add_argument("--epochs", type=int, default=3)
     p_btrain.add_argument("--seed", type=int, default=0)
+    _add_workers(p_btrain)
     p_btrain.set_defaults(func=_cmd_bench_train)
 
     p_bsim = sub.add_parser(
@@ -688,6 +714,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_bsim.add_argument("--block-rows", type=int, default=512,
                         help="row-block height of the tiled GEMM")
     p_bsim.add_argument("--seed", type=int, default=0)
+    _add_workers(p_bsim)
     p_bsim.set_defaults(func=_cmd_bench_similarity)
 
     p_t1 = sub.add_parser("table1", help="regenerate Table 1")
@@ -695,6 +722,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_cache_dir(p_t1)
     _add_sparse_topk(p_t1)
     _add_out_of_core(p_t1)
+    _add_workers(p_t1)
     p_t1.add_argument("--bits", type=int, nargs="+",
                       default=list(PAPER_BIT_LENGTHS))
     p_t1.add_argument("--epochs", type=int, default=None,
@@ -709,6 +737,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_cache_dir(p_t2)
     _add_sparse_topk(p_t2)
     _add_out_of_core(p_t2)
+    _add_workers(p_t2)
     p_t2.add_argument("--bits", type=int, nargs="+", default=[32, 64])
     p_t2.add_argument("--epochs", type=int, default=None,
                       help="override training epochs (reproduction scale)")

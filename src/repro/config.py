@@ -114,6 +114,13 @@ class UHSCMConfig:
         largest arrays never reside wholly in RAM.  Outputs are
         bit-identical to the in-memory path, so this flag never enters
         fingerprints.
+    workers:
+        Execution policy like ``out_of_core``: worker count for the shared
+        pool behind the parallel kernels (sparse Q row tiles, the
+        trainer's one-slot batch prefetch; the serving layer has its own
+        knob).  ``None`` defers to ``$REPRO_WORKERS`` (else serial);
+        ``1`` forces the serial fallback.  Every parallel output is
+        bit-identical to serial, so this never enters fingerprints either.
     prompt_template:
         Template used to turn a concept into text for the VLP model.
     train:
@@ -131,6 +138,7 @@ class UHSCMConfig:
     denoise: bool = True
     sparse_topk: int | None = None
     out_of_core: bool = False
+    workers: int | None = None
     prompt_template: str = DEFAULT_PROMPT_TEMPLATE
     train: TrainConfig = field(default_factory=TrainConfig)
     seed: int = 0
@@ -149,6 +157,10 @@ class UHSCMConfig:
         if self.sparse_topk is not None and self.sparse_topk <= 0:
             raise ConfigurationError(
                 f"sparse_topk must be positive (or None): {self.sparse_topk}"
+            )
+        if self.workers is not None and self.workers < 1:
+            raise ConfigurationError(
+                f"workers must be >= 1 (or None): {self.workers}"
             )
         if "{concept}" not in self.prompt_template:
             raise ConfigurationError(
@@ -175,6 +187,9 @@ class UHSCMConfig:
         # Residency policy, not math: in-core and out-of-core runs produce
         # bit-identical artifacts, so they must share fingerprints.
         payload.pop("out_of_core", None)
+        # Same for worker count — parallel kernels are bit-identical to
+        # serial, so any worker count replays the serial run's artifacts.
+        payload.pop("workers", None)
         return payload
 
     def tau(self, n_concepts: int) -> float:

@@ -43,12 +43,15 @@ def similarity_from_distributions(
     distributions: np.ndarray,
     sparse_topk: int | None = None,
     dtype: np.dtype | str | None = None,
+    workers: int | None = None,
 ) -> "np.ndarray | SparseTopKSimilarity":
     """Eq. 3 / Eq. 6: pairwise cosine similarity of concept distributions.
 
     ``sparse_topk=None`` (default) returns the dense (n, n) array exactly
     as before; a positive k routes through the blocked kernel and returns
-    the top-k CSR form, never materializing n².
+    the top-k CSR form, never materializing n².  ``workers`` parallelizes
+    the blocked kernel's row tiles (bit-identical at any count; the dense
+    route ignores it — one GEMM, BLAS threads as it likes).
     """
     dist = np.asarray(
         distributions, dtype=np.float64 if dtype is None else dtype
@@ -60,7 +63,7 @@ def similarity_from_distributions(
     if sparse_topk is None:
         return cosine_similarity_matrix(dist, dtype=dist.dtype)
     return SparseTopKSimilarity.from_features(
-        dist, sparse_topk, dtype=dist.dtype
+        dist, sparse_topk, dtype=dist.dtype, workers=workers
     )
 
 
@@ -79,6 +82,7 @@ def _run_build_q(
     concepts,
     sparse_topk: int | None,
     out_of_core: bool,
+    workers: int | None = None,
 ):
     """Execute a build_q stage, streaming CSR buffers to disk when asked.
 
@@ -87,14 +91,15 @@ def _run_build_q(
     route needs the sparse form and a disk-backed store; anything else
     falls back to the heap build.  Both routes share the stage fingerprint
     and produce bit-identical payloads, so they replay each other's cached
-    artifacts freely.
+    artifacts freely.  ``workers`` fans the kernel's row tiles out to the
+    pool on both routes without changing a single output bit.
     """
     if (out_of_core and sparse_topk is not None
             and store.cache_dir is not None):
 
         def build(writer) -> dict:
             matrix = SparseTopKSimilarity.from_features_streaming(
-                get_features(), sparse_topk, writer.create
+                get_features(), sparse_topk, writer.create, workers=workers
             )
             meta, _ = matrix.payload()
             return {"concepts": list(concepts), **meta}
@@ -105,7 +110,7 @@ def _run_build_q(
         stage,
         lambda: _q_payload(
             similarity_from_distributions(
-                get_features(), sparse_topk=sparse_topk
+                get_features(), sparse_topk=sparse_topk, workers=workers
             ),
             concepts,
         ),
@@ -171,6 +176,10 @@ class SemanticSimilarityGenerator:
         views) instead of passing through the heap.  Ignored — with
         identical outputs — on the dense, unstaged, or memory-only-store
         paths.
+    workers:
+        Worker count for the sparse kernel's row-tile fan-out (``None``
+        reads ``$REPRO_WORKERS``).  Pure execution policy: outputs are
+        bit-identical at any value, so it never enters stage fingerprints.
     """
 
     def __init__(
@@ -182,6 +191,7 @@ class SemanticSimilarityGenerator:
         denoise: bool = True,
         sparse_topk: int | None = None,
         out_of_core: bool = False,
+        workers: int | None = None,
     ) -> None:
         if not concepts:
             raise ConfigurationError("candidate concept set is empty")
@@ -199,6 +209,7 @@ class SemanticSimilarityGenerator:
         self.denoise = denoise
         self.sparse_topk = sparse_topk
         self.out_of_core = out_of_core
+        self.workers = workers
 
     def _generate_single(
         self, images: np.ndarray, template: PromptTemplate | str | None
@@ -214,7 +225,8 @@ class SemanticSimilarityGenerator:
             distributions = miner.mine(images, concepts)
         return SimilarityResult(
             matrix=similarity_from_distributions(
-                distributions, sparse_topk=self.sparse_topk
+                distributions, sparse_topk=self.sparse_topk,
+                workers=self.workers,
             ),
             concepts=concepts,
             denoising=denoising,
@@ -298,7 +310,7 @@ class SemanticSimilarityGenerator:
         final_distributions = distributions
         q_art = _run_build_q(
             store, q_stage, lambda: final_distributions, concepts,
-            self.sparse_topk, self.out_of_core,
+            self.sparse_topk, self.out_of_core, workers=self.workers,
         )
         return SimilarityResult(
             matrix=similarity_from_payload(q_art.meta, q_art.arrays),
@@ -380,10 +392,12 @@ class ImageFeatureSimilarityGenerator:
         clip: SimCLIP,
         sparse_topk: int | None = None,
         out_of_core: bool = False,
+        workers: int | None = None,
     ) -> None:
         self.clip = clip
         self.sparse_topk = sparse_topk
         self.out_of_core = out_of_core
+        self.workers = workers
 
     def _build_matrix(
         self, images: np.ndarray
@@ -391,7 +405,9 @@ class ImageFeatureSimilarityGenerator:
         features = self.clip.image_features(images)
         if self.sparse_topk is None:
             return cosine_similarity_matrix(features)
-        return SparseTopKSimilarity.from_features(features, self.sparse_topk)
+        return SparseTopKSimilarity.from_features(
+            features, self.sparse_topk, workers=self.workers
+        )
 
     def generate(
         self,
@@ -414,7 +430,7 @@ class ImageFeatureSimilarityGenerator:
                 art = _run_build_q(
                     store, stage,
                     lambda: self.clip.image_features(images), (),
-                    self.sparse_topk, self.out_of_core,
+                    self.sparse_topk, self.out_of_core, workers=self.workers,
                 )
             else:
                 art = run_stage(

@@ -24,6 +24,7 @@ from repro.core.similarity_matrix import SimilarityMatrix, as_similarity_matrix
 from repro.errors import ConfigurationError
 from repro.nn.optim import SGD
 from repro.nn.parameter import resolve_dtype
+from repro.utils.parallel import as_pool
 from repro.utils.rng import as_generator
 
 
@@ -119,6 +120,14 @@ class UHSCMTrainer:
             batch block; its CSR components may themselves be memmaps).
         epochs:
             Override for ``config.train.epochs``.
+
+        With ``config.workers > 1`` the next batch's Q-gather/densify and
+        input-row copy run on the shared pool while the current optimizer
+        step executes (a one-slot prefetch).  The gather is a pure
+        function of ``(similarity, inputs, idx)`` — no RNG, no network
+        state — and consecutive gathers never overlap (slot i+1 is
+        submitted only after slot i was consumed), so the loss history is
+        bit-identical to the serial loop, which remains the oracle path.
         """
         if not isinstance(inputs, np.memmap):
             # The historical path: one upfront cast.  For a memmap this
@@ -138,30 +147,57 @@ class UHSCMTrainer:
             raise ConfigurationError(f"epochs must be positive: {epochs}")
         batch_size = min(self.config.train.batch_size, n)
 
+        def gather(idx: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+            # Dense Q gathers the t² sub-block with one flat take; sparse Q
+            # densifies its stored batch entries into a zero block.  Either
+            # way only O(t²) is materialized per step.  Fancy indexing
+            # copies the input rows to the heap either way; the explicit
+            # cast only matters for the memmap path, whose rows still carry
+            # the on-disk dtype.
+            return similarity.gather(idx), np.asarray(inputs[idx],
+                                                      dtype=self.dtype)
+
+        def step(batch: np.ndarray, q_batch: np.ndarray) -> LossBreakdown:
+            if self.contrastive == "mcl":
+                return self._step_mcl(batch, q_batch)
+            return self._step_cib(batch, q_batch)
+
         history = TrainHistory()
         self.network.train()
-        for _ in range(epochs):
-            order = self.rng.permutation(n)
-            breakdowns: list[LossBreakdown] = []
-            for start in range(0, n, batch_size):
-                stop = start + batch_size
-                idx = order[start:stop]
-                if idx.size < 2:
-                    continue  # pairwise losses need at least two images
-                # Dense Q gathers the t² sub-block with one flat take;
-                # sparse Q densifies its stored batch entries into a zero
-                # block.  Either way only O(t²) is materialized per step.
-                q_batch = similarity.gather(idx)
-                # Fancy indexing copies the batch rows to the heap either
-                # way; the explicit cast only matters for the memmap path,
-                # whose rows still carry the on-disk dtype.
-                batch = np.asarray(inputs[idx], dtype=self.dtype)
-                if self.contrastive == "mcl":
-                    breakdown = self._step_mcl(batch, q_batch)
+        pool, owned = as_pool(self.config.workers, name="train")
+        try:
+            for _ in range(epochs):
+                order = self.rng.permutation(n)
+                breakdowns: list[LossBreakdown] = []
+                if pool.serial:
+                    # The oracle path: gather and step strictly interleaved.
+                    for start in range(0, n, batch_size):
+                        idx = order[start:start + batch_size]
+                        if idx.size < 2:
+                            continue  # pairwise losses need >= 2 images
+                        q_batch, batch = gather(idx)
+                        breakdowns.append(step(batch, q_batch))
                 else:
-                    breakdown = self._step_cib(batch, q_batch)
-                breakdowns.append(breakdown)
-            history.append_epoch(breakdowns)
+                    # One-slot prefetch: slot i+1 gathers on the pool while
+                    # step i runs; gathers therefore never overlap, which
+                    # keeps SparseTopKSimilarity's shared scratch safe.
+                    batches = [
+                        order[start:start + batch_size]
+                        for start in range(0, n, batch_size)
+                        if order[start:start + batch_size].size >= 2
+                    ]
+                    pending = (
+                        pool.submit(gather, batches[0]) if batches else None
+                    )
+                    for i, _idx in enumerate(batches):
+                        q_batch, batch = pending.result()
+                        if i + 1 < len(batches):
+                            pending = pool.submit(gather, batches[i + 1])
+                        breakdowns.append(step(batch, q_batch))
+                history.append_epoch(breakdowns)
+        finally:
+            if owned:
+                pool.close()
         return history
 
     def _step_mcl(self, batch: np.ndarray, q_batch: np.ndarray) -> LossBreakdown:

@@ -94,6 +94,7 @@ class UHSCM:
                 denoise=self.config.denoise,
                 sparse_topk=self.config.sparse_topk,
                 out_of_core=self.config.out_of_core,
+                workers=self.config.workers,
             )
         )
         self.network_mode = network_mode

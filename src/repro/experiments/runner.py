@@ -76,6 +76,10 @@ class ExperimentContext:
     #: Out-of-core residency for sparse staged builds (bit-identical outputs,
     #: never fingerprinted); see :attr:`repro.config.UHSCMConfig.out_of_core`.
     out_of_core: bool = False
+    #: Worker count for the parallel kernels behind UHSCM fits (bit-identical
+    #: outputs, never fingerprinted); see
+    #: :attr:`repro.config.UHSCMConfig.workers`.
+    workers: int | None = None
     dataset: HashingDataset = field(init=False)
     clip: SimCLIP = field(init=False)
     _cache: dict[tuple[str, int], FitResult] = field(default_factory=dict)
@@ -143,6 +147,8 @@ class ExperimentContext:
             config = replace(config, sparse_topk=self.sparse_topk)
         if self.out_of_core:
             config = replace(config, out_of_core=True)
+        if self.workers is not None:
+            config = replace(config, workers=self.workers)
         return config
 
     def build_variant(self, key: str, n_bits: int) -> UHSCM:
@@ -259,6 +265,7 @@ def make_contexts(
     store: ArtifactStore | None = None,
     sparse_topk: int | None = None,
     out_of_core: bool = False,
+    workers: int | None = None,
 ) -> dict[str, ExperimentContext]:
     """Build one context per dataset."""
     if not datasets:
@@ -266,6 +273,6 @@ def make_contexts(
     return {
         name: ExperimentContext(name, scale=scale, seed=seed, epochs=epochs,
                                 store=store, sparse_topk=sparse_topk,
-                                out_of_core=out_of_core)
+                                out_of_core=out_of_core, workers=workers)
         for name in datasets
     }

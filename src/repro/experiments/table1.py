@@ -72,6 +72,7 @@ def run_table1(
     store=None,
     sparse_topk: int | None = None,
     out_of_core: bool = False,
+    workers: int | None = None,
 ) -> MapTable:
     """Regenerate Table 1 at the requested reproduction scale.
 
@@ -80,14 +81,16 @@ def run_table1(
     interrupted run resumes where it died and UHSCM mines each dataset's
     Q once for all bit widths.  ``sparse_topk`` routes UHSCM's Q through
     the blocked top-k CSR engine (an approximation at table scale; the
-    default dense path reproduces the paper exactly), and ``out_of_core``
+    default dense path reproduces the paper exactly), ``out_of_core``
     additionally streams those CSR builds through disk-resident buffers —
-    same cells, same fingerprints, flat memory.
+    same cells, same fingerprints, flat memory — and ``workers`` runs the
+    UHSCM fits' parallel kernels on that many threads (every cell
+    bit-identical to the serial run).
     """
     table = MapTable(title="Table 1: MAP of Hamming ranking")
     contexts = make_contexts(datasets, scale=scale, seed=seed, epochs=epochs,
                              store=store, sparse_topk=sparse_topk,
-                             out_of_core=out_of_core)
+                             out_of_core=out_of_core, workers=workers)
     for dataset, ctx in contexts.items():
         for bits in bit_lengths:
             for method in methods:

@@ -42,6 +42,7 @@ def run_table2(
     store=None,
     sparse_topk: int | None = None,
     out_of_core: bool = False,
+    workers: int | None = None,
 ) -> MapTable:
     """Regenerate Table 2 (variant ablations) at the requested scale.
 
@@ -51,12 +52,13 @@ def run_table2(
     ``sparse_topk`` routes the UHSCM-family variants through the top-k CSR
     Q engine (the ``avg`` variant requires dense Q and rejects it);
     ``out_of_core`` streams those builds through disk-resident buffers
-    without changing any cell.
+    without changing any cell; ``workers`` runs the fits' parallel kernels
+    on that many threads, also without changing any cell.
     """
     table = MapTable(title="Table 2: MAPs of UHSCM and its variants")
     contexts = make_contexts(datasets, scale=scale, seed=seed, epochs=epochs,
                              store=store, sparse_topk=sparse_topk,
-                             out_of_core=out_of_core)
+                             out_of_core=out_of_core, workers=workers)
     for dataset, ctx in contexts.items():
         for bits in bit_lengths:
             for key in variants:

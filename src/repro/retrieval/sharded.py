@@ -31,6 +31,19 @@ Degraded results never enter the facade's query cache.  Each shard call
 first consults the index's :class:`~repro.utils.faults.FaultInjector` at
 the ``shard.search`` point (with ``shard=<i>`` context), which is how the
 fault-scale bench kills one shard deterministically.
+
+**Concurrent fan-out** (PR 8): with ``workers > 1`` the surviving shard
+probes of a fan-out run on a shared :class:`~repro.utils.parallel.WorkerPool`
+instead of the serial Python loop.  The fan-out is two-phase so parallel
+answers stay bit-identical to serial ones: phase 1 walks the shards *in
+shard order* on the calling thread — breaker admission and the fault
+injector consult happen exactly as they would serially, so deterministic
+fault schedules and breaker transitions are untouched — and phase 2
+dispatches only the admitted probes to the pool, collecting results and
+applying breaker bookkeeping back in shard order.  Each probe touches
+only its own shard object, per-shard result blocks are concatenated in
+shard order, and the ``(distance, id)`` composite-key merge is a stable
+sort — so completion order cannot reorder anything.
 """
 
 from __future__ import annotations
@@ -55,6 +68,7 @@ from repro.retrieval.backend import (
     register_backend,
 )
 from repro.utils.faults import NULL_INJECTOR, FaultInjector
+from repro.utils.parallel import WorkerPool
 from repro.utils.retry import CLOSED, CircuitBreaker
 from repro.utils.validation import check_binary_codes
 
@@ -90,6 +104,10 @@ class ShardedIndex:
     faults:
         :class:`~repro.utils.faults.FaultInjector` consulted at the
         ``shard.search`` point before every shard call.
+    workers:
+        Worker count for the concurrent shard fan-out (``None`` reads
+        ``$REPRO_WORKERS``; ``1`` keeps the serial probe loop).  Pure
+        execution policy — merged results are bit-identical at any value.
     """
 
     def __init__(
@@ -103,6 +121,7 @@ class ShardedIndex:
         breaker_reset_s: float = 30.0,
         clock: Callable[[], float] = time.monotonic,
         faults: FaultInjector = NULL_INJECTOR,
+        workers: int | None = None,
     ) -> None:
         if n_bits <= 0:
             raise ShapeError(f"n_bits must be positive: {n_bits}")
@@ -115,25 +134,41 @@ class ShardedIndex:
         self.shard_backend = shard_backend
         self.shard_options = dict(shard_options or {})
         self.faults = faults
-        self._shards: list[RetrievalBackend] = [
-            make_backend(shard_backend, n_bits, **self.shard_options)
-            for _ in range(n_shards)
-        ]
-        self._breakers: list[CircuitBreaker] = [
-            CircuitBreaker(failure_threshold=breaker_threshold,
-                           reset_timeout_s=breaker_reset_s, clock=clock)
-            for _ in range(n_shards)
-        ]
+        self._init_shard_state(breaker_threshold, breaker_reset_s, clock)
         #: Whether the most recent fan-out answered from a shard subset.
         self.last_query_degraded = False
-        #: Per shard: global id of every row ever added, in the child's
-        #: insertion (= local id) order.  Sorted ascending by construction.
-        self._shard_gids: list[np.ndarray] = [
-            _EMPTY_IDS.copy() for _ in range(n_shards)
-        ]
         self._next_id = 0
         self._n_alive = 0
         self._cache = QueryResultCache(cache_size) if cache_size else None
+        self._pool = WorkerPool(workers, name="shard")
+
+    def _init_shard_state(
+        self,
+        breaker_threshold: int,
+        breaker_reset_s: float,
+        clock: Callable[[], float],
+    ) -> None:
+        """Build all per-shard state in one pass — the single seam both the
+        serial and the pooled fan-out initialize through.
+
+        Per shard: the child backend, its circuit breaker, and the
+        append-only ``local -> global`` id array (global ids are assigned
+        monotonically, so each array stays sorted ascending by
+        construction).
+        """
+        self._shards: list[RetrievalBackend] = []
+        self._breakers: list[CircuitBreaker] = []
+        self._shard_gids: list[np.ndarray] = []
+        for _ in range(self.n_shards):
+            self._shards.append(
+                make_backend(self.shard_backend, self.n_bits,
+                             **self.shard_options)
+            )
+            self._breakers.append(
+                CircuitBreaker(failure_threshold=breaker_threshold,
+                               reset_timeout_s=breaker_reset_s, clock=clock)
+            )
+            self._shard_gids.append(_EMPTY_IDS.copy())
 
     # -- mutation ---------------------------------------------------------------
 
@@ -205,6 +240,15 @@ class ShardedIndex:
         """Whether any shard's circuit is currently not closed."""
         return any(b.state != CLOSED for b in self._breakers)
 
+    @property
+    def workers(self) -> int:
+        """Effective worker count of the fan-out pool (1 = serial)."""
+        return self._pool.workers
+
+    def pool_stats(self) -> dict:
+        """The fan-out pool's worker count, mode, and task counters."""
+        return self._pool.stats()
+
     def circuit_states(self) -> list[dict]:
         """Per-shard breaker state/counters for ``health()`` reports."""
         return [
@@ -228,23 +272,49 @@ class ShardedIndex:
 
     # -- queries ----------------------------------------------------------------
 
-    def _shard_call(self, si: int, op: Callable[[], object]) -> object | None:
-        """Run one shard operation under its circuit breaker.
+    def _probe_shards(
+        self, ops: list[tuple[int, Callable[[], object]]]
+    ) -> tuple[list[tuple[int, object]], bool]:
+        """Run shard operations under their breakers, two-phase.
 
-        Returns the operation's result, or ``None`` when the shard is
-        skipped (circuit open) or fails (failure recorded, query degrades).
+        Phase 1 (serial, in shard order — exactly the serial loop's
+        sequence): consult each shard's breaker, then the fault injector at
+        ``shard.search``.  A refused or faulted shard records its breaker
+        failure immediately and degrades the query; survivors are admitted.
+        Phase 2: admitted probes dispatch to the pool (inline when the
+        pool is serial); results are collected and breaker bookkeeping is
+        applied back in shard order, so success/failure transitions land
+        in the same sequence as the serial loop.
+
+        Returns ``(results, degraded)`` where ``results`` is the
+        shard-ordered list of ``(shard index, result)`` for every probe
+        that answered.
         """
-        breaker = self._breakers[si]
-        if not breaker.allow():
-            return None
-        try:
-            self.faults.check("shard.search", shard=si)
-            result = op()
-        except Exception:
-            breaker.record_failure()
-            return None
-        breaker.record_success()
-        return result
+        admitted: list[tuple[int, object]] = []
+        degraded = False
+        for si, op in ops:
+            breaker = self._breakers[si]
+            if not breaker.allow():
+                degraded = True
+                continue
+            try:
+                self.faults.check("shard.search", shard=si)
+            except Exception:
+                breaker.record_failure()
+                degraded = True
+                continue
+            admitted.append((si, self._pool.submit(op)))
+        results: list[tuple[int, object]] = []
+        for si, future in admitted:
+            try:
+                result = future.result()
+            except Exception:
+                self._breakers[si].record_failure()
+                degraded = True
+                continue
+            self._breakers[si].record_success()
+            results.append((si, result))
+        return results, degraded
 
     def _fan_out_topk(
         self, query_codes: np.ndarray, top_k: int
@@ -256,20 +326,16 @@ class ShardedIndex:
         missing tail positions padded with ``MISSING_ID`` / ``n_bits + 1``)
         instead of failing, unless *every* shard is unavailable.
         """
+        ops = [
+            (si, lambda s=shard, k=min(top_k, len(shard)):
+                s.search(query_codes, top_k=k))
+            for si, shard in enumerate(self._shards)
+            if len(shard) > 0
+        ]
+        results, degraded = self._probe_shards(ops)
         gid_blocks = []
         dist_blocks = []
-        degraded = False
-        for si, shard in enumerate(self._shards):
-            n_rows = len(shard)
-            if n_rows == 0:
-                continue
-            result = self._shard_call(
-                si, lambda: self._shards[si].search(  # noqa: B023
-                    query_codes, top_k=min(top_k, n_rows))
-            )
-            if result is None:
-                degraded = True
-                continue
+        for si, result in results:
             local_ids, dist = result
             gid_blocks.append(self._shard_gids[si][local_ids])
             dist_blocks.append(dist)
@@ -329,18 +395,14 @@ class ShardedIndex:
         per_query: list[list[np.ndarray]] = [
             [] for _ in range(query_codes.shape[0])
         ]
-        degraded = False
+        ops = [
+            (si, lambda s=shard: s.radius_search(query_codes, radius))
+            for si, shard in enumerate(self._shards)
+            if len(shard) > 0
+        ]
+        results, degraded = self._probe_shards(ops)
         answered = False
-        for si, shard in enumerate(self._shards):
-            if len(shard) == 0:
-                continue
-            hits = self._shard_call(
-                si, lambda: self._shards[si].radius_search(  # noqa: B023
-                    query_codes, radius)
-            )
-            if hits is None:
-                degraded = True
-                continue
+        for si, hits in results:
             answered = True
             for qi, local_hits in enumerate(hits):
                 per_query[qi].append(self._shard_gids[si][local_hits])

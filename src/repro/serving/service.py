@@ -158,6 +158,11 @@ class HashingService:
         :class:`~repro.utils.faults.FaultInjector` threaded into the
         batcher (``encode.forward``) and, for the sharded backend, into
         per-shard fan-out (``shard.search``).
+    workers:
+        Worker count for the sharded backend's concurrent fan-out
+        (``None`` reads ``$REPRO_WORKERS``; ``1`` keeps the serial probe
+        loop).  Surfaced in :meth:`stats` and :meth:`health`; merged
+        results are bit-identical at any value.
     """
 
     def __init__(
@@ -178,6 +183,7 @@ class HashingService:
         max_pending: int | None = None,
         default_deadline_s: float | None = None,
         faults: FaultInjector = NULL_INJECTOR,
+        workers: int | None = None,
     ) -> None:
         if max_pending is not None and max_pending <= 0:
             raise ConfigurationError(
@@ -205,6 +211,7 @@ class HashingService:
             options.setdefault("shard_backend", shard_backend)
             options.setdefault("faults", faults)
             options.setdefault("clock", clock)
+            options.setdefault("workers", workers)
         if cache_size:
             options.setdefault("cache_size", cache_size)
         self.index = make_backend(backend, self.n_bits, **options)
@@ -497,6 +504,7 @@ class HashingService:
         report: dict = {
             "status": "degraded" if degraded else "ok",
             "degraded": degraded,
+            "workers": int(getattr(self.index, "workers", 1)),
             "circuits": circuits() if circuits is not None else [],
             "batcher": {
                 key: batcher[key]
@@ -526,6 +534,7 @@ class HashingService:
             "shards": list(
                 getattr(self.index, "shard_sizes", (len(self.index),))
             ),
+            "workers": int(getattr(self.index, "workers", 1)),
             "batcher": self.batcher.stats(),
             "shed": self._shed,
             "deadline_exceeded": self._deadline_exceeded,
@@ -536,6 +545,9 @@ class HashingService:
             },
             "caches": {},
         }
+        pool_stats = getattr(self.index, "pool_stats", None)
+        if pool_stats is not None:
+            out["pool"] = pool_stats()
         cache = getattr(self.index, "cache", None)
         if cache is not None:
             out["caches"]["index"] = {

@@ -1,6 +1,6 @@
 """Shared utilities: deterministic RNG plumbing, stable math, timing,
-tables, and the resilience primitives (fault injection, retries, circuit
-breakers)."""
+tables, the worker-pool layer behind every parallel kernel, and the
+resilience primitives (fault injection, retries, circuit breakers)."""
 
 from repro.utils.faults import NULL_INJECTOR, FaultInjector, FaultRule
 from repro.utils.mathops import (
@@ -11,6 +11,7 @@ from repro.utils.mathops import (
     softmax,
     stable_exp,
 )
+from repro.utils.parallel import WORKERS_ENV, WorkerPool, resolve_workers
 from repro.utils.retry import CircuitBreaker, RetryPolicy
 from repro.utils.rng import RngMixin, as_generator, spawn
 from repro.utils.tables import format_float, render_table
@@ -31,6 +32,8 @@ __all__ = [
     "RetryPolicy",
     "RngMixin",
     "Timer",
+    "WORKERS_ENV",
+    "WorkerPool",
     "as_generator",
     "check_array",
     "check_binary_codes",
@@ -42,6 +45,7 @@ __all__ = [
     "l2_normalize",
     "pairwise_inner",
     "render_table",
+    "resolve_workers",
     "sign",
     "softmax",
     "spawn",

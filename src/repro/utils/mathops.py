@@ -17,10 +17,12 @@ from __future__ import annotations
 
 import os
 import tempfile
+import threading
 
 import numpy as np
 
 from repro.errors import ConfigurationError, ShapeError
+from repro.utils.parallel import WorkerPool, as_pool
 
 #: Elements with L2 norm below this are treated as zero vectors when
 #: normalizing, to avoid division blow-ups.
@@ -130,13 +132,23 @@ def blocked_topk_cosine(
     block_rows: int = 512,
     dtype: np.dtype | str | None = None,
     max_block_bytes: int = _MAX_BLOCK_BYTES,
+    workers: "int | WorkerPool | None" = None,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """CSR top-k rows of the cosine-similarity matrix, built blockwise.
 
     Tiles ``a_n[start:stop] @ a_n.T`` over row blocks of ``block_rows`` and
     keeps, per row, the k strongest entries plus the diagonal — the full
     (n, n) matrix never exists.  Peak extra memory is O(block_rows · n) for
-    the GEMM buffer instead of O(n²).
+    the GEMM buffer instead of O(n²) (times the worker count when the
+    build runs parallel, each worker owning one tile buffer).
+
+    ``workers`` (a count, an existing :class:`~repro.utils.parallel.
+    WorkerPool`, or ``None`` = ``$REPRO_WORKERS``) dispatches the row-block
+    tiles to a shared worker pool: every tile computes the same GEMM over
+    the same fixed block shape and writes its own disjoint ``data``/
+    ``indices`` row range, so the parallel build is bit-identical to the
+    serial one at any worker count — the serial path (``workers <= 1``) is
+    the oracle the parallel-scale bench gates against.
 
     Returns ``(data, indices, indptr)`` in canonical CSR form: column
     indices sorted ascending within each row, every row holding exactly
@@ -173,7 +185,7 @@ def blocked_topk_cosine(
     )
     data = np.empty((n, keep), dtype=a_n.dtype)
     indices = np.empty((n, keep), dtype=index_dtype)
-    _fill_topk_blocks(a_n, keep, block_rows, data, indices)
+    _fill_topk_blocks(a_n, keep, block_rows, data, indices, workers=workers)
     indptr = np.arange(n + 1, dtype=indptr_dtype) * indptr_dtype(keep)
     return data.reshape(-1), indices.reshape(-1), indptr
 
@@ -190,44 +202,96 @@ def _topk_index_dtypes(n: int, keep: int) -> tuple[np.dtype, np.dtype]:
     return index_dtype, indptr_dtype
 
 
+def _topk_block(
+    a_n: np.ndarray,
+    a_t: np.ndarray,
+    keep: int,
+    start: int,
+    stop: int,
+    buf: np.ndarray,
+    data: np.ndarray,
+    indices: np.ndarray,
+) -> None:
+    """Compute one row-block tile into ``data[start:stop]``/``indices[...]``.
+
+    One GEMM tile, an in-place clip, and a per-row top-(keep) selection.
+    The body is shared verbatim by the serial loop and the pooled workers,
+    so parallel results are bit-identical by construction: every tile
+    writes only its own row range and depends only on its own dot
+    products.
+    """
+    n = a_n.shape[0]
+    block = buf[: stop - start]
+    np.dot(a_n[start:stop], a_t, out=block)
+    np.clip(block, -1.0, 1.0, out=block)
+    if keep == n:
+        selected = np.broadcast_to(np.arange(n), block.shape)
+    else:
+        # Top-(keep) per row; the slice's first column is the weakest
+        # selected entry, which the diagonal displaces when absent.
+        selected = np.argpartition(block, n - keep, axis=1)[:, n - keep:]
+        diagonal = np.arange(start, stop)
+        has_diag = (selected == diagonal[:, None]).any(axis=1)
+        selected[~has_diag, 0] = diagonal[~has_diag]
+    rows = np.arange(stop - start)
+    order = np.sort(selected, axis=1)
+    indices[start:stop] = order
+    data[start:stop] = block[rows[:, None], order]
+
+
 def _fill_topk_blocks(
     a_n: np.ndarray,
     keep: int,
     block_rows: int,
     data: np.ndarray,
     indices: np.ndarray,
+    workers: "int | WorkerPool | None" = 1,
 ) -> None:
     """The tiled-GEMM top-k loop shared by the heap and streaming builders.
 
     ``a_n`` is the L2-normalized feature matrix (heap array or memmap);
     ``data``/``indices`` are preallocated (n, keep) destinations — heap
     arrays for :func:`blocked_topk_cosine`, writable on-disk memmap views
-    for :func:`streaming_topk_cosine`.  Each output row depends only on
-    that row's dot products, so results are identical wherever the buffers
-    live.
+    for :func:`streaming_topk_cosine` (workers of a parallel out-of-core
+    build all write their own row ranges of the same scratch-backed
+    memmaps).  Each output row depends only on that row's dot products, so
+    results are identical wherever the buffers live and whichever worker
+    computes them.
+
+    With ``workers > 1`` the tiles dispatch to a
+    :class:`~repro.utils.parallel.WorkerPool`: the GEMM releases the GIL
+    inside BLAS, each worker thread reuses one private tile buffer
+    (allocated lazily per thread, never shared), and the tile shape is
+    fixed by :func:`_capped_block_rows` regardless of the worker count —
+    the same-summation-order property the bit-identity guarantee rests
+    on.
     """
     n = a_n.shape[0]
     block_rows = min(block_rows, n)
-    buf = np.empty((block_rows, n), dtype=a_n.dtype)
     a_t = a_n.T  # transposed view; BLAS consumes it without a copy
-    for start in range(0, n, block_rows):
-        stop = min(start + block_rows, n)
-        block = buf[: stop - start]
-        np.dot(a_n[start:stop], a_t, out=block)
-        np.clip(block, -1.0, 1.0, out=block)
-        if keep == n:
-            selected = np.broadcast_to(np.arange(n), block.shape)
-        else:
-            # Top-(keep) per row; the slice's first column is the weakest
-            # selected entry, which the diagonal displaces when absent.
-            selected = np.argpartition(block, n - keep, axis=1)[:, n - keep:]
-            diagonal = np.arange(start, stop)
-            has_diag = (selected == diagonal[:, None]).any(axis=1)
-            selected[~has_diag, 0] = diagonal[~has_diag]
-        rows = np.arange(stop - start)
-        order = np.sort(selected, axis=1)
-        indices[start:stop] = order
-        data[start:stop] = block[rows[:, None], order]
+    starts = range(0, n, block_rows)
+    pool, owned = as_pool(workers, name="topk")
+    try:
+        if pool.serial:
+            buf = np.empty((block_rows, n), dtype=a_n.dtype)
+            for start in starts:
+                stop = min(start + block_rows, n)
+                _topk_block(a_n, a_t, keep, start, stop, buf, data, indices)
+            return
+        scratch = threading.local()
+
+        def tile(start: int) -> None:
+            buf = getattr(scratch, "buf", None)
+            if buf is None:
+                buf = np.empty((block_rows, n), dtype=a_n.dtype)
+                scratch.buf = buf
+            stop = min(start + block_rows, n)
+            _topk_block(a_n, a_t, keep, start, stop, buf, data, indices)
+
+        pool.map(tile, starts)
+    finally:
+        if owned:
+            pool.close()
 
 
 #: Row-block height used when streaming features through normalization.
@@ -241,6 +305,7 @@ def streaming_topk_cosine(
     block_rows: int = 512,
     dtype: np.dtype | str | None = None,
     max_block_bytes: int = _MAX_BLOCK_BYTES,
+    workers: "int | WorkerPool | None" = None,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """:func:`blocked_topk_cosine` with every O(n)-sized buffer on disk.
 
@@ -265,6 +330,12 @@ def streaming_topk_cosine(
     whole-array normalization, and the per-row argpartition/sort is
     independent of where its buffers live.
     Returns the three (filled) created arrays.
+
+    ``workers`` parallelizes the tile loop exactly as in
+    :func:`blocked_topk_cosine`: every worker reads the one shared
+    normalized scratch memmap and writes its own row range of the
+    on-disk CSR buffers, so the out-of-core build scales across cores
+    with the same bit-identity guarantee as the heap build.
     """
     if k <= 0:
         raise ConfigurationError(f"k must be positive: {k}")
@@ -315,7 +386,7 @@ def streaming_topk_cosine(
     indices = create_array("q_indices", (n * keep,), index_dtype)
     indptr = create_array("q_indptr", (n + 1,), indptr_dtype)
     _fill_topk_blocks(a_n, keep, block_rows, data.reshape(n, keep),
-                      indices.reshape(n, keep))
+                      indices.reshape(n, keep), workers=workers)
     indptr[:] = np.arange(n + 1, dtype=indptr_dtype) * indptr_dtype(keep)
     return data, indices, indptr
 

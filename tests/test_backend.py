@@ -316,3 +316,52 @@ class TestEvaluateCodesBackend:
         with pytest.raises(ShapeError):
             evaluate_codes(q, db, np.ones((2, 1), int), np.ones((10, 1), int),
                            pn_points=(2,), backend=stale)
+
+
+class TestShardedWorkers:
+    """Concurrent fan-out (PR 8): pooled probes are bit-identical to serial,
+    including the composite-key ``(distance, id)`` tie-breaking."""
+
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_all_ties_merge_id_ascending(self, workers):
+        # Every row identical: every candidate ties at distance 0, so the
+        # merged top-k must fall back to pure id order regardless of which
+        # worker thread returned its shard first.
+        codes = np.tile(random_codes(1, 16), (12, 1))
+        index = make_backend("sharded", 16, n_shards=3, workers=workers)
+        index.add(codes)
+        ids, dist = index.search(codes[:2], top_k=6)
+        np.testing.assert_array_equal(ids, [[0, 1, 2, 3, 4, 5]] * 2)
+        assert (dist == 0).all()
+
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_adjacent_equal_distance_merge_is_deterministic(self, workers):
+        # Duplicate pairs (ids 2i, 2i+1) land on different shards under
+        # round-robin placement; the equal-distance candidates they produce
+        # must interleave id-ascending, exactly like one flat index.
+        base = distinct_codes(10, 16, seed=7)
+        codes = np.repeat(base, 2, axis=0)
+        sharded = make_backend("sharded", 16, n_shards=4, workers=workers)
+        sharded.add(codes)
+        ids, dist = sharded.search(base, top_k=8)
+        reference = HammingIndex(16).add(codes)
+        r_ids, r_dist = reference.search(base, top_k=8)
+        np.testing.assert_array_equal(ids, r_ids)
+        np.testing.assert_array_equal(dist, r_dist)
+        # Each query's own duplicate pair heads the ranking, id-ascending.
+        np.testing.assert_array_equal(ids[:, 0] + 1, ids[:, 1])
+        np.testing.assert_array_equal(dist[:, 0], dist[:, 1])
+
+    def test_pooled_results_match_serial(self):
+        codes = random_codes(60, 16, seed=9)
+        queries = random_codes(5, 16, seed=10)
+        serial = make_backend("sharded", 16, n_shards=4, workers=1).add(codes)
+        pooled = make_backend("sharded", 16, n_shards=4, workers=4).add(codes)
+        for got, want in zip(pooled.search(queries, top_k=7),
+                             serial.search(queries, top_k=7)):
+            np.testing.assert_array_equal(got, want)
+        for got, want in zip(pooled.radius_search(queries, 6),
+                             serial.radius_search(queries, 6)):
+            np.testing.assert_array_equal(got, want)
+        assert pooled.pool_stats()["workers"] == 4
+        assert serial.pool_stats()["serial"] is True

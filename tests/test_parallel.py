@@ -1,0 +1,191 @@
+"""Tests for the shared worker-pool layer (``repro.utils.parallel``).
+
+The pool's contract is what every parallel kernel's bit-identity rests
+on: deterministic index-ordered collection, a serial fallback that is a
+plain inline call, exception transparency between the two modes, and a
+single ``workers`` knob resolved argument → ``$REPRO_WORKERS`` → 1.
+The kernels themselves are covered where they live
+(``test_utils_mathops``, ``test_backend``, ``test_resilience``, the
+parallel-scale bench); this file pins the substrate.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.config import UHSCMConfig
+from repro.errors import ConfigurationError
+from repro.utils.parallel import (
+    WORKERS_ENV,
+    WorkerPool,
+    as_pool,
+    resolve_workers,
+)
+
+
+class TestResolveWorkers:
+    def test_explicit_argument_wins(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "8")
+        assert resolve_workers(3) == 3
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "6")
+        assert resolve_workers(None) == 6
+
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv(WORKERS_ENV, raising=False)
+        assert resolve_workers(None) == 1
+
+    def test_blank_env_is_serial(self, monkeypatch):
+        # CI sets REPRO_WORKERS='' on non-parallel matrix entries.
+        monkeypatch.setenv(WORKERS_ENV, "  ")
+        assert resolve_workers(None) == 1
+
+    @pytest.mark.parametrize("value", [0, -2, 1])
+    def test_subunit_counts_clamp_to_serial(self, value):
+        assert resolve_workers(value) == 1
+
+    def test_invalid_env_raises_configuration_error(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "many")
+        with pytest.raises(ConfigurationError, match=WORKERS_ENV):
+            resolve_workers(None)
+
+
+class TestSerialPool:
+    def test_submit_runs_inline_on_calling_thread(self):
+        pool = WorkerPool(1)
+        assert pool.serial
+        seen = []
+        pool.submit(lambda: seen.append(threading.current_thread()))
+        assert seen == [threading.main_thread()]
+
+    def test_result_available_before_close(self):
+        pool = WorkerPool(1)
+        future = pool.submit(lambda: 41 + 1)
+        assert future.result() == 42
+
+    def test_exception_captured_and_reraised_at_result(self):
+        pool = WorkerPool(1)
+
+        def boom():
+            raise ValueError("inline failure")
+
+        future = pool.submit(boom)  # must NOT raise here
+        with pytest.raises(ValueError, match="inline failure"):
+            future.result()
+        assert pool.stats()["completed"] == 1  # failures still count
+
+    def test_counters(self):
+        pool = WorkerPool(0)  # clamps to serial
+        pool.map(str, range(5))
+        assert pool.stats() == {"workers": 1, "serial": True, "submitted": 5,
+                                "completed": 5, "rejected": 0}
+
+
+class TestThreadedPool:
+    def test_map_preserves_item_order(self):
+        # Delay inversely with index so later items finish first; the
+        # collected results must still come back in submission order.
+        import time
+
+        def slow_identity(i):
+            time.sleep((4 - i) * 0.01)
+            return i
+
+        with WorkerPool(4) as pool:
+            assert not pool.serial
+            assert pool.map(slow_identity, range(5)) == list(range(5))
+
+    def test_exception_propagates_in_item_order(self):
+        def maybe_boom(i):
+            if i == 2:
+                raise RuntimeError("task 2 failed")
+            return i
+
+        with WorkerPool(4) as pool:
+            with pytest.raises(RuntimeError, match="task 2 failed"):
+                pool.map(maybe_boom, range(6))
+            stats = pool.stats()
+        assert stats["submitted"] == 6  # all dispatched before the raise
+        assert stats["completed"] == 6
+
+    def test_work_runs_off_the_calling_thread(self):
+        with WorkerPool(2, name="probe") as pool:
+            names = pool.map(
+                lambda _: threading.current_thread().name, range(4)
+            )
+        assert all(name.startswith("probe-worker") for name in names)
+
+
+class TestLifecycle:
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_closed_pool_rejects_submissions(self, workers):
+        pool = WorkerPool(workers)
+        pool.close()
+        pool.close()  # idempotent
+        with pytest.raises(ConfigurationError, match="closed"):
+            pool.submit(lambda: None)
+        assert pool.stats()["rejected"] == 1
+
+    def test_context_manager_closes(self):
+        with WorkerPool(2) as pool:
+            pool.submit(lambda: None).result()
+        with pytest.raises(ConfigurationError):
+            pool.submit(lambda: None)
+
+
+class TestAsPool:
+    def test_instance_passes_through_unowned(self):
+        shared = WorkerPool(1)
+        pool, owned = as_pool(shared)
+        assert pool is shared and not owned
+        shared.close()
+
+    @pytest.mark.parametrize("workers", [None, 1, 3])
+    def test_counts_build_owned_pools(self, workers):
+        pool, owned = as_pool(workers, name="kernel")
+        assert owned
+        assert pool.workers == resolve_workers(workers)
+        pool.close()
+
+
+class TestConfigIntegration:
+    def test_workers_field_validated(self):
+        assert UHSCMConfig(workers=4).workers == 4
+        assert UHSCMConfig().workers is None
+        with pytest.raises(ConfigurationError, match="workers"):
+            UHSCMConfig(workers=0)
+
+    def test_workers_excluded_from_fingerprint(self):
+        # Execution policy, not semantics: artifacts built at any worker
+        # count are bit-identical, so they must share cache keys.
+        serial = UHSCMConfig().fingerprint_payload()
+        parallel = UHSCMConfig(workers=8).fingerprint_payload()
+        assert serial == parallel
+        assert "workers" not in parallel
+
+    def test_trainer_prefetch_bit_identical(self):
+        # End-to-end pin at unit-test scale (the scale bench re-checks at
+        # size): pooled one-slot prefetch reproduces serial loss history.
+        from repro.config import TrainConfig
+        from repro.core.hashing_network import HashingNetwork
+        from repro.core.trainer import UHSCMTrainer
+
+        rng = np.random.default_rng(11)
+        features = rng.normal(size=(96, 16))
+        labels = rng.integers(0, 4, size=96)
+        q = (labels[:, None] == labels[None, :]).astype(np.float64)
+
+        def history(workers):
+            config = UHSCMConfig(
+                n_bits=16, workers=workers,
+                train=TrainConfig(batch_size=32, epochs=2),
+            )
+            network = HashingNetwork(
+                16, mode="feature", feature_extractor=lambda x: x,
+                feature_dim=16, rng=0,
+            )
+            return UHSCMTrainer(network, config).fit(features, q).total
+
+        assert history(1) == history(4)

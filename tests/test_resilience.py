@@ -56,6 +56,11 @@ class TickingClock:
         return self.t
 
 
+def _raise_boom(*args, **kwargs):
+    """Stand-in shard method that fails inside the probe itself."""
+    raise RuntimeError("shard blew up mid-probe")
+
+
 # -- fault injector -----------------------------------------------------------
 
 
@@ -466,6 +471,55 @@ class TestShardedDegradation:
         assert index.last_query_degraded
         for row in hits:
             assert not np.any(row % 3 == 0)
+
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_injected_fault_on_pooled_probe_trips_breaker(self, workers):
+        # PR 8: fault schedules are consulted serially at admission, so an
+        # injected shard.search fault behaves identically whether the
+        # admitted probes then run inline or on the worker pool.
+        faults = FaultInjector().arm()
+        faults.rule("shard.search", match={"shard": 1})
+        index = self.make_index(faults=faults, workers=workers)
+        queries = random_codes(3, 16, seed=7)
+        ids, dist = index.search(queries, top_k=5)
+        assert index.last_query_degraded
+        assert ids.shape == dist.shape == (3, 5)
+        kept = ids[ids >= 0]
+        assert not np.any(kept % 3 == 1)  # nothing from the faulted shard
+        for row in ids:  # no duplicated survivor in any merged row
+            alive = row[row >= 0]
+            assert len(set(alive.tolist())) == alive.size
+        index.search(queries, top_k=5)  # second strike hits threshold=2
+        states = {c["shard"]: c["state"] for c in index.circuit_states()}
+        assert states[1] == OPEN
+        # Same fault schedule, serial pool: byte-identical degraded answer.
+        serial_faults = FaultInjector().arm()
+        serial_faults.rule("shard.search", match={"shard": 1})
+        serial = self.make_index(faults=serial_faults, workers=1)
+        np.testing.assert_array_equal(ids, serial.search(queries, top_k=5)[0])
+
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_exception_inside_pooled_probe_trips_breaker(self, workers):
+        # A shard blowing up INSIDE a pooled probe (not at admission) must
+        # surface through the future, trip that shard's breaker, and leave
+        # the merged answer degraded-but-complete — never hang or duplicate.
+        index = self.make_index(workers=workers)
+        index.shards[1].search = _raise_boom  # instance attr shadows method
+        queries = random_codes(3, 16, seed=8)
+        ids, dist = index.search(queries, top_k=5)
+        assert index.last_query_degraded
+        assert ids.shape == (3, 5)
+        kept = ids[ids >= 0]
+        assert not np.any(kept % 3 == 1)
+        for row in ids:
+            alive = row[row >= 0]
+            assert len(set(alive.tolist())) == alive.size
+        index.search(queries, top_k=5)
+        states = {c["shard"]: c["state"] for c in index.circuit_states()}
+        assert states[1] == OPEN
+        serial = self.make_index(workers=1)
+        serial.shards[1].search = _raise_boom
+        np.testing.assert_array_equal(ids, serial.search(queries, top_k=5)[0])
 
 
 # -- batcher poison isolation -------------------------------------------------

@@ -199,6 +199,60 @@ class TestBlockedTopkCosine:
         np.testing.assert_array_equal(indptr, [0])
 
 
+class TestParallelTopkCosine:
+    """PR 8: pooled tile dispatch is bit-identical to the serial oracle."""
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_blocked_parallel_matches_serial(self, workers):
+        x = np.random.default_rng(20).normal(size=(97, 12))
+        serial = blocked_topk_cosine(x, 9, block_rows=16, workers=1)
+        parallel = blocked_topk_cosine(x, 9, block_rows=16, workers=workers)
+        for s_arr, p_arr in zip(serial, parallel):
+            np.testing.assert_array_equal(s_arr, p_arr)
+
+    def test_streaming_parallel_matches_serial(self):
+        from repro.utils.mathops import streaming_topk_cosine
+
+        x = np.random.default_rng(21).normal(size=(64, 8))
+
+        def build(workers):
+            bufs = {}
+
+            def create(name, shape, dtype):
+                bufs[name] = np.empty(shape, dtype=dtype)
+                return bufs[name]
+
+            return streaming_topk_cosine(x, 5, create, block_rows=16,
+                                         workers=workers)
+
+        for s_arr, p_arr in zip(build(1), build(4)):
+            np.testing.assert_array_equal(np.asarray(s_arr),
+                                          np.asarray(p_arr))
+
+    def test_shared_pool_instance_accepted(self):
+        # Kernels accept a caller-owned pool and leave it open; the tile
+        # count is visible in the counters (ceil(97 / 16) = 7 tiles).
+        from repro.utils.parallel import WorkerPool
+
+        x = np.random.default_rng(22).normal(size=(97, 12))
+        with WorkerPool(3, name="shared") as pool:
+            blocked_topk_cosine(x, 4, block_rows=16, workers=pool)
+            stats = pool.stats()
+            assert stats == {"workers": 3, "serial": False, "submitted": 7,
+                             "completed": 7, "rejected": 0}
+            # Still usable afterwards — the kernel did not close it.
+            assert pool.submit(lambda: "alive").result() == "alive"
+
+    def test_env_default_resolves_parallel(self, monkeypatch):
+        # workers=None reads $REPRO_WORKERS; output stays bit-identical.
+        x = np.random.default_rng(23).normal(size=(40, 6))
+        serial = blocked_topk_cosine(x, 3, block_rows=8, workers=1)
+        monkeypatch.setenv("REPRO_WORKERS", "4")
+        from_env = blocked_topk_cosine(x, 3, block_rows=8, workers=None)
+        for s_arr, e_arr in zip(serial, from_env):
+            np.testing.assert_array_equal(s_arr, e_arr)
+
+
 class TestStableExp:
     def test_no_overflow(self):
         out = stable_exp(np.array([1e4, 1e4 + 1]))
