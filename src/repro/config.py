@@ -121,6 +121,14 @@ class UHSCMConfig:
         knob).  ``None`` defers to ``$REPRO_WORKERS`` (else serial);
         ``1`` forces the serial fallback.  Every parallel output is
         bit-identical to serial, so this never enters fingerprints either.
+    pool_backend:
+        Execution backend for the pooled top-k Q-build kernels:
+        ``"thread"`` (the default), or ``"process"`` to run the GIL-bound
+        tile portions in spawned workers with shared-memory operand
+        transport.  ``None`` defers to ``$REPRO_POOL`` (else thread).
+        Applies only to the process-safe Q builders — the trainer's
+        prefetch and the serving fan-out stay thread-backed regardless.
+        Bit-identical across backends, so it never enters fingerprints.
     prompt_template:
         Template used to turn a concept into text for the VLP model.
     train:
@@ -139,6 +147,7 @@ class UHSCMConfig:
     sparse_topk: int | None = None
     out_of_core: bool = False
     workers: int | None = None
+    pool_backend: str | None = None
     prompt_template: str = DEFAULT_PROMPT_TEMPLATE
     train: TrainConfig = field(default_factory=TrainConfig)
     seed: int = 0
@@ -161,6 +170,13 @@ class UHSCMConfig:
         if self.workers is not None and self.workers < 1:
             raise ConfigurationError(
                 f"workers must be >= 1 (or None): {self.workers}"
+            )
+        if self.pool_backend is not None and self.pool_backend not in (
+            "thread", "process",
+        ):
+            raise ConfigurationError(
+                "pool_backend must be 'thread', 'process', or None: "
+                f"{self.pool_backend!r}"
             )
         if "{concept}" not in self.prompt_template:
             raise ConfigurationError(
@@ -187,9 +203,11 @@ class UHSCMConfig:
         # Residency policy, not math: in-core and out-of-core runs produce
         # bit-identical artifacts, so they must share fingerprints.
         payload.pop("out_of_core", None)
-        # Same for worker count — parallel kernels are bit-identical to
-        # serial, so any worker count replays the serial run's artifacts.
+        # Same for worker count and pool backend — parallel kernels are
+        # bit-identical to serial on every backend, so any combination
+        # replays the serial run's artifacts.
         payload.pop("workers", None)
+        payload.pop("pool_backend", None)
         return payload
 
     def tau(self, n_concepts: int) -> float:

@@ -11,7 +11,14 @@ from repro.utils.mathops import (
     softmax,
     stable_exp,
 )
-from repro.utils.parallel import WORKERS_ENV, WorkerPool, resolve_workers
+from repro.utils.parallel import (
+    POOL_BACKEND_ENV,
+    WORKERS_ENV,
+    WorkerPool,
+    require_thread_backend,
+    resolve_pool_backend,
+    resolve_workers,
+)
 from repro.utils.retry import CircuitBreaker, RetryPolicy
 from repro.utils.rng import RngMixin, as_generator, spawn
 from repro.utils.tables import format_float, render_table
@@ -29,6 +36,7 @@ __all__ = [
     "FaultInjector",
     "FaultRule",
     "NULL_INJECTOR",
+    "POOL_BACKEND_ENV",
     "RetryPolicy",
     "RngMixin",
     "Timer",
@@ -45,6 +53,8 @@ __all__ = [
     "l2_normalize",
     "pairwise_inner",
     "render_table",
+    "require_thread_backend",
+    "resolve_pool_backend",
     "resolve_workers",
     "sign",
     "softmax",

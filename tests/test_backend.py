@@ -363,5 +363,7 @@ class TestShardedWorkers:
         for got, want in zip(pooled.radius_search(queries, 6),
                              serial.radius_search(queries, 6)):
             np.testing.assert_array_equal(got, want)
-        assert pooled.pool_stats()["workers"] == 4
+        # The effective count may clamp to os.cpu_count() on small boxes;
+        # the pre-clamp request is what the backend plumbing owes us.
+        assert pooled.pool_stats()["requested"] == 4
         assert serial.pool_stats()["serial"] is True

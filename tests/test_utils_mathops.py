@@ -229,17 +229,25 @@ class TestParallelTopkCosine:
             np.testing.assert_array_equal(np.asarray(s_arr),
                                           np.asarray(p_arr))
 
-    def test_shared_pool_instance_accepted(self):
+    def test_shared_pool_instance_accepted(self, monkeypatch):
         # Kernels accept a caller-owned pool and leave it open; the tile
         # count is visible in the counters (ceil(97 / 16) = 7 tiles).
+        # Fake the core count so the cpu clamp can't serialize the pool
+        # on a small CI box.
+        import os
+
         from repro.utils.parallel import WorkerPool
 
+        monkeypatch.setattr(os, "cpu_count", lambda: 8)
         x = np.random.default_rng(22).normal(size=(97, 12))
         with WorkerPool(3, name="shared") as pool:
             blocked_topk_cosine(x, 4, block_rows=16, workers=pool)
             stats = pool.stats()
-            assert stats == {"workers": 3, "serial": False, "submitted": 7,
-                             "completed": 7, "rejected": 0}
+            assert stats == {"backend": "thread", "workers": 3,
+                             "requested": 3, "serial": False, "submitted": 7,
+                             "completed": 7, "rejected": 0,
+                             "shm_published": 0, "shm_released": 0,
+                             "shm_active": 0}
             # Still usable afterwards — the kernel did not close it.
             assert pool.submit(lambda: "alive").result() == "alive"
 
