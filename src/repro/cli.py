@@ -12,6 +12,7 @@ Subcommands::
     python -m repro.cli export  --results benchmarks/results --out EXPERIMENTS.md
     python -m repro.cli serve   --dataset cifar10 --model model.npz --queries 3
     python -m repro.cli serve   --dataset cifar10 --model <fingerprint> --repl
+    python -m repro.cli serve-http --dataset cifar10 --port 8035
     python -m repro.cli bench-retrieval --n 10000 --bits 64
     python -m repro.cli bench-train --n 512 --bits 64 --batch 128
     python -m repro.cli bench-serve --n 10000 --bits 64 --shards 4
@@ -69,6 +70,15 @@ store snapshot, so a restarted ``serve`` warm-loads its index without
 re-encoding.  One-shot mode answers ``--queries N`` query-split rows and
 exits; ``--repl`` reads ``q <i> [k]`` / ``remove <id...>`` / ``stats`` /
 ``quit`` from stdin.
+
+``serve-http`` runs the same facade as a network daemon: an asyncio
+HTTP/JSON front end (``POST /query /add /remove /swap``, ``GET /stats
+/health``) whose concurrent connections coalesce in the shared
+micro-batcher (``--batch`` rows / ``--max-delay-ms`` window), with
+bounded admission (``--max-inflight``, shed as HTTP 429), per-endpoint
+latency percentiles in ``/stats``, zero-drop model hot swap via
+``POST /swap`` (needs ``--cache-dir``; target is a published
+fingerprint), and graceful SIGTERM/SIGINT drain.
 
 ``--cache-dir`` on ``train`` / ``table1`` / ``table2`` (or ``--resume``,
 which implies the default cache dir) attaches a content-addressed
@@ -369,6 +379,97 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 print(f"  unknown command {cmd!r}")
         except Exception as exc:  # REPL: report, keep serving
             print(f"  error: {exc}")
+    return 0
+
+
+def _cmd_serve_http(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+
+    from repro.pipeline import dataset_key
+    from repro.serving import HashingService, load_model, publish_model
+    from repro.serving.http import ServerThread, ServingApp
+
+    store = _make_store(args)
+    if args.publish and store is None:
+        print("--publish requires --cache-dir")
+        return 1
+    data = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    clip = SimCLIP(data.world)
+    if args.model is not None:
+        model = load_model(args.model, clip, store=store)
+        print(f"loaded model {args.model}")
+    else:
+        from dataclasses import replace
+
+        from repro.core.uhscm import UHSCM
+
+        config = paper_config(args.dataset, n_bits=args.bits, seed=args.seed)
+        if args.epochs is not None:
+            config = replace(config, train=replace(config.train,
+                                                   epochs=args.epochs))
+        model = UHSCM(config, clip=clip)
+        model.fit(data.train_images, store=store,
+                  data_key=dataset_key(args.dataset, args.scale, args.seed))
+        print(f"trained fresh UHSCM ({args.bits} bits) on {args.dataset}")
+    if args.publish:
+        print(f"published model snapshot: {publish_model(store, model)}")
+
+    db_key = dataset_key(args.dataset, args.scale, args.seed,
+                         split="database")
+
+    def build_service(encoder) -> HashingService:
+        service = HashingService(
+            encoder, store=store, n_shards=args.shards,
+            shard_backend=args.shard_backend, cache_size=args.cache_size,
+            max_batch=args.batch, max_delay_s=args.max_delay_ms / 1e3,
+            workers=args.workers, pool_backend=args.pool_backend,
+        )
+        service.load_database(
+            data.database_images, key=db_key,
+            chunk_size=HashingService.DB_CHUNK if args.out_of_core else None,
+        )
+        return service
+
+    def swap_factory(source: str) -> HashingService:
+        # POST /swap: load the replacement model (store fingerprint or
+        # archive path) and stand up its index while v1 keeps serving.
+        return build_service(load_model(source, clip, store=store))
+
+    service = build_service(model)
+    app = ServingApp(service, service_factory=swap_factory,
+                     max_inflight=args.max_inflight)
+    handle = ServerThread(app, host=args.host, port=args.port,
+                          concurrency=args.concurrency)
+    handle.start()
+    print(f"index ready: {len(service)} rows in {args.shards} shard(s)")
+    print(f"serving on http://{args.host}:{handle.port}  "
+          f"(concurrency={args.concurrency} "
+          f"max_inflight={args.max_inflight} "
+          f"batch={args.batch}@{args.max_delay_ms:g}ms)")
+    print("endpoints: POST /query /add /remove /swap   GET /stats /health")
+
+    stop = threading.Event()
+
+    def _on_signal(signum: int, frame: object) -> None:
+        print(f"received {signal.Signals(signum).name}: draining in-flight "
+              "requests, refusing new work ...")
+        stop.set()
+
+    signal.signal(signal.SIGTERM, _on_signal)
+    signal.signal(signal.SIGINT, _on_signal)
+    try:
+        stop.wait()
+    finally:
+        handle.stop()
+        hist = app.metrics["query"]
+        if hist.count:
+            snap = hist.snapshot()
+            print(f"served {snap['count']} queries: "
+                  f"p50 {snap['p50_s'] * 1e3:.1f} ms, "
+                  f"p95 {snap['p95_s'] * 1e3:.1f} ms, "
+                  f"p99 {snap['p99_s'] * 1e3:.1f} ms")
+        print("shutdown complete: batcher flushed, shard pool joined")
     return 0
 
 
@@ -687,6 +788,45 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--repl", action="store_true",
                          help="interactive driver on stdin")
     p_serve.set_defaults(func=_cmd_serve)
+
+    p_http = sub.add_parser(
+        "serve-http",
+        help="serve the hashing index over HTTP/JSON (asyncio daemon)",
+    )
+    _add_common(p_http)
+    _add_cache_dir(p_http)
+    _add_out_of_core(p_http)
+    _add_workers(p_http)
+    p_http.add_argument("--model", default=None,
+                        help="persistence archive path or store fingerprint "
+                             "(default: train a fresh model in-process)")
+    p_http.add_argument("--bits", type=int, default=64,
+                        help="code length when training fresh")
+    p_http.add_argument("--epochs", type=int, default=None,
+                        help="override training epochs when training fresh")
+    p_http.add_argument("--publish", action="store_true",
+                        help="publish the model snapshot to the store "
+                             "(swap targets need a fingerprint)")
+    p_http.add_argument("--shards", type=int, default=4)
+    p_http.add_argument("--shard-backend", default="bruteforce",
+                        help="child backend for the sharded index")
+    p_http.add_argument("--cache-size", type=int, default=0,
+                        help="per-shard query-result LRU capacity")
+    p_http.add_argument("--batch", type=int, default=256,
+                        help="micro-batcher flush size")
+    p_http.add_argument("--max-delay-ms", type=float, default=2.0,
+                        help="micro-batcher coalescing window: concurrent "
+                             "requests arriving within it share one encode "
+                             "flush (0 = flush immediately)")
+    p_http.add_argument("--host", default="127.0.0.1")
+    p_http.add_argument("--port", type=int, default=8035,
+                        help="bind port (0 = pick a free one)")
+    p_http.add_argument("--concurrency", type=int, default=8,
+                        help="handler worker threads")
+    p_http.add_argument("--max-inflight", type=int, default=64,
+                        help="admission bound: concurrent requests beyond "
+                             "it are shed with HTTP 429")
+    p_http.set_defaults(func=_cmd_serve_http)
 
     p_bserve = sub.add_parser(
         "bench-serve",

@@ -76,3 +76,14 @@ class OverloadedError(ReproError, RuntimeError):
 
 class DeadlineExceededError(ReproError, RuntimeError):
     """A request's deadline budget expired before an answer was ready."""
+
+
+class ShutdownError(ReproError, RuntimeError):
+    """The service is draining for shutdown and refuses new requests.
+
+    In-flight requests complete normally; retry against a live replica.
+    """
+
+
+class ValidationError(ReproError, ValueError):
+    """A request payload failed schema validation (HTTP front end)."""

@@ -261,6 +261,16 @@ class ShardedIndex:
         """The fan-out pool's worker count, mode, and task counters."""
         return self._pool.stats()
 
+    def close(self) -> None:
+        """Join the fan-out pool's workers (idempotent).
+
+        Part of graceful service shutdown: after closing, the pool refuses
+        new probes, its submitted/completed counters are balanced, and no
+        worker thread outlives the index.  Searches after ``close`` raise
+        :class:`~repro.errors.ConfigurationError` from the pool.
+        """
+        self._pool.close()
+
     def circuit_states(self) -> list[dict]:
         """Per-shard breaker state/counters for ``health()`` reports."""
         return [

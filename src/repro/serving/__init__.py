@@ -14,13 +14,22 @@ This package turns the reproduction's pieces into a deployable service:
   or warm-load its index from a store snapshot, and serve
   ``query``/``add``/``remove``/``stats``.
 
-CLI entry points: ``python -m repro.cli serve`` (one-shot or REPL) and
-``python -m repro.cli bench-serve``; the gated scale smoke is
-``benchmarks/bench_serving_scale.py``.
+- :mod:`~repro.serving.http` — the asyncio HTTP/JSON front end
+  (:class:`~repro.serving.http.ServingApp` +
+  :class:`~repro.serving.http.HttpServer`): concurrent connections feed
+  the shared batcher so independent clients coalesce into micro-batched
+  encodes.
+
+CLI entry points: ``python -m repro.cli serve`` (one-shot or REPL),
+``python -m repro.cli serve-http`` (network daemon), and
+``python -m repro.cli bench-serve``; the gated scale smokes are
+``benchmarks/bench_serving_scale.py`` and
+``benchmarks/bench_http_scale.py``.
 """
 
 from repro.retrieval.sharded import ShardedIndex
 from repro.serving.batcher import EncodeBatcher, EncodeTicket
+from repro.serving.http import HttpServer, ServerThread, ServingApp
 from repro.serving.service import (
     INDEX_STAGE,
     MODEL_STAGE,
@@ -33,8 +42,11 @@ __all__ = [
     "EncodeBatcher",
     "EncodeTicket",
     "HashingService",
+    "HttpServer",
     "INDEX_STAGE",
     "MODEL_STAGE",
+    "ServerThread",
+    "ServingApp",
     "ShardedIndex",
     "load_model",
     "publish_model",

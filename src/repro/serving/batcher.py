@@ -24,13 +24,22 @@ normally, rows that keep failing resolve to a **typed error** (a
 raises to exactly that caller.  The forward consults the batcher's
 :class:`~repro.utils.faults.FaultInjector` at the ``encode.forward`` point.
 
-Everything is synchronous and single-threaded — deliberate for this CPU
-reproduction: the batcher is the coalescing *policy*, and an async front
-end would own the event loop around it.
+Concurrency (PR 10): the batcher is **thread-safe** — the async HTTP front
+end drives it from concurrent request handlers, which is the load pattern
+the size/deadline triggers were designed for.  The queue/ticket path is
+lock-guarded: ``submit``/``poll``/``flush`` detach the pending batch
+atomically, then run the network forward *outside* the lock so the next
+batch accumulates while the current one encodes.  Tickets resolve through
+a :class:`threading.Event`; ``result(wait=True)`` parks the caller until a
+size trigger fires or the batch deadline expires (whichever thread wakes
+first claims the deadline flush), so co-arriving callers genuinely
+coalesce instead of each forcing a size-1 flush.  The default
+``result()`` keeps the synchronous contract: force the flush, never wait.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import Counter
 from collections.abc import Callable
@@ -50,36 +59,64 @@ class EncodeTicket:
     """Handle to one submitted query; resolves when its batch flushes.
 
     A ticket resolves to either a code row or a typed error — never to
-    nothing: ``result()`` forces the owning batcher to flush, so a caller
+    nothing: ``result()`` forces the owning batcher to flush (or, with
+    ``wait=True``, parks until a size/deadline trigger fires), so a caller
     can never hang on its own request.
     """
 
-    __slots__ = ("_batcher", "_code", "_error")
+    __slots__ = ("_batcher", "_code", "_error", "_event")
 
     def __init__(self, batcher: "EncodeBatcher") -> None:
         self._batcher = batcher
         self._code: np.ndarray | None = None
         self._error: BaseException | None = None
+        self._event = threading.Event()
 
     @property
     def ready(self) -> bool:
         """Whether the batch holding this request has already flushed."""
-        return self._code is not None or self._error is not None
+        return self._event.is_set()
 
     @property
     def failed(self) -> bool:
         """Whether this request resolved to an error."""
-        return self._error is not None
+        return self._event.is_set() and self._error is not None
 
-    def result(self) -> np.ndarray:
+    def _resolve(
+        self,
+        code: np.ndarray | None = None,
+        error: BaseException | None = None,
+    ) -> None:
+        self._code = code
+        self._error = error
+        self._event.set()
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until the ticket resolves; True when it did in time."""
+        return self._event.wait(timeout)
+
+    def result(self, wait: bool = False) -> np.ndarray:
         """The ±1 code row, flushing the owning batcher if still pending.
+
+        ``wait=False`` (the default, and the synchronous contract every
+        pre-HTTP caller relies on) forces an immediate flush.
+        ``wait=True`` is the concurrent-caller mode: park until the batch
+        flushes on its size trigger or its deadline expires — the
+        coalescing window the micro-batcher exists for.
 
         Raises the typed error this request resolved to, if its encode
         failed — only this caller sees it; co-batched requests that
         encoded fine resolve normally.
         """
-        if not self.ready:
-            self._batcher.flush()
+        if not self._event.is_set():
+            if wait:
+                self._batcher._await(self)
+            else:
+                self._batcher.flush()
+                # Our row may be riding a batch another thread detached
+                # whose forward is still running; it resolves every
+                # ticket, so this wait is bounded by that forward.
+                self._event.wait()
         if self._error is not None:
             raise self._error
         assert self._code is not None
@@ -99,13 +136,18 @@ class EncodeBatcher:
         Size trigger: flush as soon as this many requests are pending.
     max_delay_s:
         Deadline trigger: flush when the oldest pending request has waited
-        this long (checked on every ``submit``/``poll``).
+        this long (checked on every ``submit``/``poll``, and awaited by
+        ``result(wait=True)`` callers).
     clock:
         Monotonic time source, injectable for deterministic tests.
     faults:
         :class:`~repro.utils.faults.FaultInjector` consulted at the
         ``encode.forward`` point before every network forward.
     """
+
+    #: Fallback wait quantum for tickets parked behind an in-flight
+    #: forward (or a stalled injected clock): re-check this often.
+    WAIT_QUANTUM_S = 0.05
 
     def __init__(
         self,
@@ -128,6 +170,7 @@ class EncodeBatcher:
         self.max_delay_s = max_delay_s
         self._clock = clock
         self.faults = faults
+        self._lock = threading.Lock()
         self._pending: list[tuple[np.ndarray, EncodeTicket]] = []
         self._oldest: float | None = None
         self.requests = 0
@@ -141,38 +184,83 @@ class EncodeBatcher:
     # -- queue ------------------------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self._pending)
+        with self._lock:
+            return len(self._pending)
 
     def submit(self, vector: np.ndarray) -> EncodeTicket:
         """Enqueue one query vector; may trigger a size or deadline flush."""
         vector = np.asarray(vector, dtype=self._dtype)
         if vector.ndim == 0:
             raise ShapeError("submit takes one query item, got a scalar")
-        if self._pending and vector.shape != self._pending[0][0].shape:
-            # Reject shape mismatches at submit time: one bad request must
-            # not poison the whole batch for every other pending caller.
-            raise ShapeError(
-                f"query item shape {vector.shape} does not match the "
-                f"pending batch's {self._pending[0][0].shape}"
-            )
         self.poll()  # deadline may have passed since the last activity
-        ticket = EncodeTicket(self)
-        if not self._pending:
-            self._oldest = self._clock()
-        self._pending.append((vector, ticket))
-        self.requests += 1
-        if len(self._pending) >= self.max_batch:
+        with self._lock:
+            if self._pending and vector.shape != self._pending[0][0].shape:
+                # Reject shape mismatches at submit time: one bad request
+                # must not poison the whole batch for every other pending
+                # caller.
+                raise ShapeError(
+                    f"query item shape {vector.shape} does not match the "
+                    f"pending batch's {self._pending[0][0].shape}"
+                )
+            ticket = EncodeTicket(self)
+            if not self._pending:
+                self._oldest = self._clock()
+            self._pending.append((vector, ticket))
+            self.requests += 1
+            size_due = len(self._pending) >= self.max_batch
+        if size_due:
             self.flush()
         return ticket
 
+    def _deadline_due_locked(self) -> bool:
+        return (bool(self._pending) and self._oldest is not None
+                and self._clock() - self._oldest >= self.max_delay_s)
+
+    def _detach_locked(self) -> list[tuple[np.ndarray, EncodeTicket]]:
+        pending, self._pending = self._pending, []
+        self._oldest = None
+        return pending
+
     def poll(self) -> bool:
-        """Flush if the oldest pending request has exceeded the deadline."""
-        if (self._pending and self._oldest is not None
-                and self._clock() - self._oldest >= self.max_delay_s):
+        """Flush if the oldest pending request has exceeded the deadline.
+
+        The deadline claim and the batch detach are one atomic step, so
+        concurrent pollers (parked ``result(wait=True)`` callers waking
+        together) count exactly one deadline flush per expired batch.
+        """
+        with self._lock:
+            if not self._deadline_due_locked():
+                return False
             self.deadline_flushes += 1
-            self.flush()
-            return True
-        return False
+            pending = self._detach_locked()
+        self._run_flush(pending)
+        return True
+
+    def _await(self, ticket: EncodeTicket) -> None:
+        """Park a ``result(wait=True)`` caller until its ticket resolves.
+
+        While the ticket still sits in the pending queue the caller
+        sleeps exactly until the batch deadline, then claims the deadline
+        flush itself (via :meth:`poll`) — no background flusher thread
+        exists or is needed.  A ticket already detached into an in-flight
+        forward re-checks on a short quantum until that forward resolves
+        it (every flush resolves every ticket, success or typed error).
+        """
+        while not ticket._event.is_set():
+            with self._lock:
+                if self._oldest is None:
+                    remaining = None  # detached: an in-flight forward owns it
+                else:
+                    remaining = self.max_delay_s - (self._clock() - self._oldest)
+            if remaining is None:
+                ticket._event.wait(self.WAIT_QUANTUM_S)
+            elif remaining <= 0:
+                self.poll()
+            else:
+                # A size-trigger flush resolves the event early; otherwise
+                # wake at the deadline (quantum-capped so an injected
+                # clock that never advances cannot park us forever).
+                ticket._event.wait(min(remaining, self.WAIT_QUANTUM_S))
 
     def _forward(self, matrix: np.ndarray) -> np.ndarray:
         """One guarded network forward (the ``encode.forward`` fault point)."""
@@ -197,11 +285,20 @@ class EncodeBatcher:
         ``result()`` raises to its caller.  Every pending ticket resolves
         one way or the other — a flush can never strand a request.
         """
-        if not self._pending:
-            return 0
-        pending, self._pending = self._pending, []
-        self._oldest = None
+        with self._lock:
+            if not self._pending:
+                return 0
+            pending = self._detach_locked()
+        return self._run_flush(pending)
+
+    def _run_flush(self, pending: list[tuple[np.ndarray, EncodeTicket]]) -> int:
+        """Forward one detached batch and resolve its tickets.
+
+        Runs outside the queue lock: concurrent submitters keep
+        accumulating the next batch while this one encodes.
+        """
         batch = np.stack([vector for vector, _ in pending])
+        failed = False
         try:
             codes = self._forward(batch)
             if np.asarray(codes).shape[0] != len(pending):
@@ -210,43 +307,50 @@ class EncodeBatcher:
                     f"for a {len(pending)}-row batch"
                 )
         except Exception as exc:
-            self.flush_failures += 1
+            failed = True
+            poisoned = 0
             if len(pending) == 1:
-                pending[0][1]._error = self._typed(exc)
-                self.poisoned += 1
+                pending[0][1]._resolve(error=self._typed(exc))
+                poisoned = 1
             else:
                 # Isolate the poison: re-run each row on its own so one bad
                 # request cannot fail the whole cohort.
-                self.isolation_flushes += 1
                 for vector, ticket in pending:
                     try:
-                        ticket._code = self._forward(vector[None])[0]
+                        ticket._resolve(code=self._forward(vector[None])[0])
                     except Exception as row_exc:
-                        ticket._error = self._typed(row_exc)
-                        self.poisoned += 1
+                        ticket._resolve(error=self._typed(row_exc))
+                        poisoned += 1
         else:
             for row, (_, ticket) in enumerate(pending):
-                ticket._code = codes[row]
-        self.flushes += 1
-        self.flush_sizes[len(pending)] += 1
+                ticket._resolve(code=codes[row])
+        with self._lock:
+            if failed:
+                self.flush_failures += 1
+                self.poisoned += poisoned
+                if len(pending) > 1:
+                    self.isolation_flushes += 1
+            self.flushes += 1
+            self.flush_sizes[len(pending)] += 1
         return len(pending)
 
     # -- reporting --------------------------------------------------------------
 
     def stats(self) -> dict:
         """Counters for ``HashingService.stats()`` / the serve CLI."""
-        return {
-            "requests": self.requests,
-            "flushes": self.flushes,
-            "deadline_flushes": self.deadline_flushes,
-            "flush_failures": self.flush_failures,
-            "isolation_flushes": self.isolation_flushes,
-            "poisoned": self.poisoned,
-            "pending": len(self._pending),
-            "max_batch": self.max_batch,
-            "max_delay_s": self.max_delay_s,
-            "flush_sizes": {
-                int(size): int(count)
-                for size, count in sorted(self.flush_sizes.items())
-            },
-        }
+        with self._lock:
+            return {
+                "requests": self.requests,
+                "flushes": self.flushes,
+                "deadline_flushes": self.deadline_flushes,
+                "flush_failures": self.flush_failures,
+                "isolation_flushes": self.isolation_flushes,
+                "poisoned": self.poisoned,
+                "pending": len(self._pending),
+                "max_batch": self.max_batch,
+                "max_delay_s": self.max_delay_s,
+                "flush_sizes": {
+                    int(size): int(count)
+                    for size, count in sorted(self.flush_sizes.items())
+                },
+            }

@@ -37,6 +37,7 @@ from repro.errors import (
     DeadlineExceededError,
     OverloadedError,
     ShapeError,
+    ShutdownError,
 )
 from repro.pipeline import (
     CODE_FORMAT_VERSION,
@@ -52,6 +53,7 @@ from repro.retrieval.hamming import PackedCodes, unpack_codes
 from repro.retrieval.sharded import MISSING_ID
 from repro.serving.batcher import EncodeBatcher
 from repro.utils.faults import NULL_INJECTOR, FaultInjector
+from repro.utils.metrics import LatencyHistogram
 from repro.utils.parallel import require_thread_backend
 
 #: Store stage names owned by the serving layer.
@@ -237,6 +239,12 @@ class HashingService:
         )
         self._shed = 0
         self._deadline_exceeded = 0
+        self._closed = False
+        #: Per-stage latency distributions over every query (seconds).
+        self._latency = {
+            stage: LatencyHistogram(clock=clock)
+            for stage in ("encode", "search", "total")
+        }
         #: External id of every internal (insertion-order) id ever assigned.
         self._ext_ids = np.empty(0, dtype=np.int64)
         #: external -> internal for the alive rows.
@@ -374,6 +382,7 @@ class HashingService:
         and not collide with any alive row); by default rows get the
         index's insertion-order ids.
         """
+        self._check_open()
         codes = self._encode(np.asarray(vectors, dtype=np.float64))
         return self._register(codes, ids)
 
@@ -413,6 +422,7 @@ class HashingService:
 
     def remove(self, ids: np.ndarray) -> int:
         """Remove rows by external id (unknown ids are ignored)."""
+        self._check_open()
         ids = np.atleast_1d(np.asarray(ids, dtype=np.int64))
         known = [e for e in dict.fromkeys(ids.tolist())
                  if e in self._int_by_ext]
@@ -432,6 +442,7 @@ class HashingService:
         vectors: np.ndarray,
         top_k: int = 10,
         deadline_s: float | None = None,
+        flush: str = "force",
     ) -> tuple[np.ndarray, np.ndarray]:
         """Encode queries through the micro-batcher and search the index.
 
@@ -439,6 +450,16 @@ class HashingService:
         every row rides the batcher, so a burst of requests coalesces into
         ``ceil(n / max_batch)`` network forwards and one fan-out search.
         Returns ``(external_ids, distances)``, both ``(n, top_k)``.
+
+        ``flush`` is the coalescing policy.  ``"force"`` (the default —
+        the CLI/REPL behavior since PR 4) flushes the batcher right after
+        submitting, so a sequential caller never waits on the batch
+        deadline.  ``"auto"`` leaves the flush to the batcher's own
+        size/deadline triggers and parks on the tickets instead — the mode
+        for genuinely concurrent callers (the HTTP front end), whose
+        co-arriving rows then coalesce into shared network forwards.
+        Results are bit-identical across policies; only the flush timing
+        differs.
 
         Fault surface: when the service is overloaded (``max_pending``)
         the whole request is shed up front with
@@ -449,7 +470,14 @@ class HashingService:
         degraded sharded index, rows lost with a downed shard come back
         padded: external id ``-1`` with distance ``n_bits + 1``;
         :attr:`last_query_degraded` reports whether this query was partial.
+        A service that has been :meth:`close`\\ d refuses new queries with
+        :class:`~repro.errors.ShutdownError`.
         """
+        if flush not in ("force", "auto"):
+            raise ConfigurationError(
+                f'flush policy must be "force" or "auto": {flush!r}'
+            )
+        self._check_open()
         vectors = np.asarray(vectors)  # the batcher casts per dtype policy
         if vectors.ndim == 1:
             vectors = vectors[None, :]
@@ -466,10 +494,17 @@ class HashingService:
         deadline = deadline_s if deadline_s is not None else self.default_deadline_s
         start = self._clock()
         tickets = [self.batcher.submit(row) for row in vectors]
-        self.batcher.flush()  # resolve the tail below max_batch
-        codes = np.stack([ticket.result() for ticket in tickets])
+        if flush == "force":
+            self.batcher.flush()  # resolve the tail below max_batch
+        codes = np.stack([ticket.result(wait=flush == "auto")
+                          for ticket in tickets])
+        t_encoded = self._clock()
+        self._latency["encode"].record(t_encoded - start)
         self._check_deadline(start, deadline, stage="encode")
         internal, distances = self.index.search(codes, top_k=top_k)
+        t_searched = self._clock()
+        self._latency["search"].record(t_searched - t_encoded)
+        self._latency["total"].record(t_searched - start)
         self._check_deadline(start, deadline, stage="search")
         # A degraded fan-out pads lost rows with MISSING_ID; keep the
         # sentinel out of the external-id table (clipping would alias it
@@ -502,6 +537,36 @@ class HashingService:
     def __len__(self) -> int:
         return len(self.index)
 
+    # -- lifecycle --------------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has retired this service."""
+        return self._closed
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ShutdownError(
+                "service is shut down; it no longer accepts requests"
+            )
+
+    def close(self) -> None:
+        """Drain and retire the service (idempotent).
+
+        New ``query``/``add``/``remove`` calls are refused with
+        :class:`~repro.errors.ShutdownError`; any encodes still pending in
+        the batcher flush first so no ticket is stranded, and the index's
+        fan-out pool (when it has one) joins its workers, leaving balanced
+        submitted/completed counters and zero live shared-memory segments.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self.batcher.flush()
+        index_close = getattr(self.index, "close", None)
+        if index_close is not None:
+            index_close()
+
     # -- reporting --------------------------------------------------------------
 
     def health(self) -> dict:
@@ -518,8 +583,10 @@ class HashingService:
         circuits = getattr(self.index, "circuit_states", None)
         batcher = self.batcher.stats()
         report: dict = {
-            "status": "degraded" if degraded else "ok",
+            "status": ("shutdown" if self._closed
+                       else "degraded" if degraded else "ok"),
             "degraded": degraded,
+            "closed": self._closed,
             "workers": int(getattr(self.index, "workers", 1)),
             "pool_backend": self.pool_backend,
             "circuits": circuits() if circuits is not None else [],
@@ -543,7 +610,8 @@ class HashingService:
         return report
 
     def stats(self) -> dict:
-        """Serving counters: shard sizes, batcher histogram, cache rates."""
+        """Serving counters: shard sizes, batcher histogram, cache rates,
+        and per-stage (encode/search/total) query latency percentiles."""
         out: dict = {
             "backend": self.backend_name,
             "n_bits": self.n_bits,
@@ -556,6 +624,11 @@ class HashingService:
             "batcher": self.batcher.stats(),
             "shed": self._shed,
             "deadline_exceeded": self._deadline_exceeded,
+            "closed": self._closed,
+            "latency": {
+                stage: hist.snapshot()
+                for stage, hist in self._latency.items()
+            },
             "database": {
                 "encodes": self._db_encodes,
                 "warm_loads": self._warm_loads,

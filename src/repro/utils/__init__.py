@@ -11,6 +11,7 @@ from repro.utils.mathops import (
     softmax,
     stable_exp,
 )
+from repro.utils.metrics import DEFAULT_BOUNDS, LatencyHistogram, geometric_bounds
 from repro.utils.parallel import (
     POOL_BACKEND_ENV,
     WORKERS_ENV,
@@ -33,8 +34,10 @@ from repro.utils.validation import (
 
 __all__ = [
     "CircuitBreaker",
+    "DEFAULT_BOUNDS",
     "FaultInjector",
     "FaultRule",
+    "LatencyHistogram",
     "NULL_INJECTOR",
     "POOL_BACKEND_ENV",
     "RetryPolicy",
@@ -50,6 +53,7 @@ __all__ = [
     "check_probability_rows",
     "cosine_similarity_matrix",
     "format_float",
+    "geometric_bounds",
     "l2_normalize",
     "pairwise_inner",
     "render_table",

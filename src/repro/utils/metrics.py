@@ -1,0 +1,196 @@
+"""Fixed-bucket latency histograms for the serving layer.
+
+Online percentile reporting (p50/p95/p99 in ``HashingService.stats()`` and
+per-endpoint in the HTTP front end) must be cheap on the hot path, bounded
+in memory no matter how many requests flow through, and mergeable across
+sources (per-endpoint histograms roll up into one service view).  A
+:class:`LatencyHistogram` is the standard answer: a fixed geometric bucket
+ladder counts observations; a percentile resolves to the **upper bound of
+the bucket holding that rank**, so the report is deterministic for a given
+sequence of observations — no sampling, no reservoir, no run-to-run
+jitter — and conservative (a reported p99 is never below the true p99).
+
+The default ladder spans 10 microseconds to ~3 minutes with two buckets
+per octave, tight enough that a bound is within ~41% of the true value;
+callers with a narrower regime can pass their own ``bounds``.  Values
+beyond the last bound land in an overflow bucket whose percentile reports
+the exact observed maximum.
+
+Every histogram is thread-safe (one lock around the counter array) —
+the HTTP layer records from concurrent handler threads — and carries an
+injectable ``clock`` so :meth:`LatencyHistogram.time` blocks are
+deterministic under test.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections.abc import Callable, Iterator, Sequence
+from contextlib import contextmanager
+
+from repro.errors import ConfigurationError
+
+
+def geometric_bounds(
+    start: float = 1e-5, factor: float = 2.0 ** 0.5, count: int = 48
+) -> tuple[float, ...]:
+    """A geometric bucket ladder: ``start * factor**i`` for i < count."""
+    if start <= 0:
+        raise ConfigurationError(f"start must be positive: {start}")
+    if factor <= 1.0:
+        raise ConfigurationError(f"factor must be > 1: {factor}")
+    if count < 1:
+        raise ConfigurationError(f"count must be >= 1: {count}")
+    return tuple(start * factor ** i for i in range(count))
+
+
+#: Default ladder: 10 us .. ~166 s, two buckets per octave.
+DEFAULT_BOUNDS = geometric_bounds()
+
+
+class LatencyHistogram:
+    """Bounded-memory latency distribution with deterministic percentiles.
+
+    Parameters
+    ----------
+    bounds:
+        Strictly increasing positive bucket upper bounds, in seconds
+        (default :data:`DEFAULT_BOUNDS`).  An observation lands in the
+        first bucket whose bound is >= the value; values beyond the last
+        bound land in the overflow bucket.
+    clock:
+        Monotonic time source for :meth:`time`, injectable for
+        deterministic tests.
+    """
+
+    def __init__(
+        self,
+        bounds: Sequence[float] | None = None,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        bounds = tuple(DEFAULT_BOUNDS if bounds is None else bounds)
+        if not bounds:
+            raise ConfigurationError("bounds must not be empty")
+        if bounds[0] <= 0 or any(
+            b <= a for a, b in zip(bounds, bounds[1:])
+        ):
+            raise ConfigurationError(
+                "bounds must be positive and strictly increasing"
+            )
+        self.bounds = bounds
+        self._clock = clock
+        self._lock = threading.Lock()
+        # One extra slot: the overflow bucket past the last bound.
+        self._counts = [0] * (len(bounds) + 1)
+        self._count = 0
+        self._sum = 0.0
+        self._max = 0.0
+
+    # -- recording --------------------------------------------------------------
+
+    def record(self, seconds: float) -> None:
+        """Count one observation (negative values clamp to 0)."""
+        seconds = max(0.0, float(seconds))
+        index = self._bucket_index(seconds)
+        with self._lock:
+            self._counts[index] += 1
+            self._count += 1
+            self._sum += seconds
+            if seconds > self._max:
+                self._max = seconds
+
+    def _bucket_index(self, seconds: float) -> int:
+        lo, hi = 0, len(self.bounds)
+        while lo < hi:  # first bound >= seconds (overflow slot when none)
+            mid = (lo + hi) // 2
+            if self.bounds[mid] >= seconds:
+                hi = mid
+            else:
+                lo = mid + 1
+        return lo
+
+    @contextmanager
+    def time(self) -> Iterator[None]:
+        """Record the wall-clock duration of the guarded block."""
+        start = self._clock()
+        try:
+            yield
+        finally:
+            self.record(self._clock() - start)
+
+    # -- reading ----------------------------------------------------------------
+
+    @property
+    def count(self) -> int:
+        """Total observations recorded."""
+        with self._lock:
+            return self._count
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of the recorded values (0.0 when empty)."""
+        with self._lock:
+            return self._sum / self._count if self._count else 0.0
+
+    @property
+    def max(self) -> float:
+        """Largest value recorded (exact, 0.0 when empty)."""
+        with self._lock:
+            return self._max
+
+    def percentile(self, p: float) -> float:
+        """Upper bound of the bucket holding the ``p``-th percentile rank.
+
+        ``p`` is in [0, 100].  Deterministic and conservative: the true
+        percentile is never above the returned value (the overflow bucket
+        reports the exact observed maximum).  Returns 0.0 when empty.
+        """
+        if not 0.0 <= p <= 100.0:
+            raise ConfigurationError(f"percentile must be in [0, 100]: {p}")
+        with self._lock:
+            if self._count == 0:
+                return 0.0
+            rank = max(1, -(-int(p * self._count) // 100))  # ceil(p*n/100)
+            seen = 0
+            for index, bucket in enumerate(self._counts):
+                seen += bucket
+                if seen >= rank:
+                    if index == len(self.bounds):  # overflow
+                        return self._max
+                    return self.bounds[index]
+            return self._max  # unreachable: seen == count >= rank
+
+    def merge(self, other: "LatencyHistogram") -> "LatencyHistogram":
+        """Fold ``other``'s observations into this histogram (in place).
+
+        Requires identical bucket bounds; returns ``self`` for chaining.
+        """
+        if other.bounds != self.bounds:
+            raise ConfigurationError(
+                "cannot merge histograms with different bucket bounds"
+            )
+        if other is self:
+            return self
+        with other._lock:
+            counts = list(other._counts)
+            count, total, peak = other._count, other._sum, other._max
+        with self._lock:
+            for index, bucket in enumerate(counts):
+                self._counts[index] += bucket
+            self._count += count
+            self._sum += total
+            if peak > self._max:
+                self._max = peak
+        return self
+
+    def snapshot(self) -> dict:
+        """JSON-able summary: count/mean/max plus p50/p95/p99 in seconds."""
+        return {
+            "count": self.count,
+            "mean_s": self.mean,
+            "max_s": self.max,
+            "p50_s": self.percentile(50),
+            "p95_s": self.percentile(95),
+            "p99_s": self.percentile(99),
+        }

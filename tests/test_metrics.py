@@ -1,0 +1,177 @@
+"""Tests for the fixed-bucket latency histogram (:mod:`repro.utils.metrics`)."""
+
+import threading
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.utils.metrics import DEFAULT_BOUNDS, LatencyHistogram, geometric_bounds
+
+
+class TestBounds:
+    def test_default_ladder_shape(self):
+        assert DEFAULT_BOUNDS[0] == pytest.approx(1e-5)
+        assert len(DEFAULT_BOUNDS) == 48
+        assert all(b > a for a, b in zip(DEFAULT_BOUNDS, DEFAULT_BOUNDS[1:]))
+        assert DEFAULT_BOUNDS[-1] > 60.0  # covers minutes-long outliers
+
+    def test_geometric_bounds_validation(self):
+        with pytest.raises(ConfigurationError):
+            geometric_bounds(start=0.0)
+        with pytest.raises(ConfigurationError):
+            geometric_bounds(factor=1.0)
+        with pytest.raises(ConfigurationError):
+            geometric_bounds(count=0)
+
+    def test_bad_custom_bounds(self):
+        with pytest.raises(ConfigurationError):
+            LatencyHistogram(bounds=())
+        with pytest.raises(ConfigurationError):
+            LatencyHistogram(bounds=(0.0, 1.0))
+        with pytest.raises(ConfigurationError):
+            LatencyHistogram(bounds=(1.0, 1.0))
+        with pytest.raises(ConfigurationError):
+            LatencyHistogram(bounds=(2.0, 1.0))
+
+
+class TestRecordPercentile:
+    def test_empty(self):
+        hist = LatencyHistogram()
+        assert hist.count == 0
+        assert hist.mean == 0.0
+        assert hist.max == 0.0
+        assert hist.percentile(50) == 0.0
+        assert hist.percentile(99) == 0.0
+
+    def test_percentile_is_bucket_upper_bound(self):
+        hist = LatencyHistogram(bounds=(0.001, 0.01, 0.1, 1.0))
+        for value in (0.0005, 0.002, 0.003, 0.05):
+            hist.record(value)
+        # ranks: p50 -> 2nd of 4 -> the 0.01 bucket's bound
+        assert hist.percentile(50) == 0.01
+        assert hist.percentile(75) == 0.01
+        assert hist.percentile(100) == 0.1
+        assert hist.percentile(0) == 0.001  # rank clamps to 1
+
+    def test_percentile_conservative(self):
+        hist = LatencyHistogram()
+        values = [i / 997.0 for i in range(1, 500)]
+        for value in values:
+            hist.record(value)
+        for p in (50, 90, 95, 99):
+            true = sorted(values)[max(0, -(-p * len(values) // 100) - 1)]
+            assert hist.percentile(p) >= true
+
+    def test_exact_boundary_lands_in_bucket(self):
+        hist = LatencyHistogram(bounds=(0.001, 0.01))
+        hist.record(0.001)  # exactly on a bound: that bucket, not the next
+        assert hist.percentile(100) == 0.001
+
+    def test_overflow_reports_exact_max(self):
+        hist = LatencyHistogram(bounds=(0.001, 0.01))
+        hist.record(5.0)
+        hist.record(7.5)
+        assert hist.percentile(99) == 7.5
+        assert hist.max == 7.5
+
+    def test_negative_clamps_to_zero(self):
+        hist = LatencyHistogram(bounds=(0.001,))
+        hist.record(-3.0)
+        assert hist.count == 1
+        assert hist.mean == 0.0
+        assert hist.percentile(50) == 0.001
+
+    def test_percentile_range_validation(self):
+        hist = LatencyHistogram()
+        with pytest.raises(ConfigurationError):
+            hist.percentile(-1)
+        with pytest.raises(ConfigurationError):
+            hist.percentile(101)
+
+    def test_mean_and_count(self):
+        hist = LatencyHistogram()
+        for value in (0.1, 0.2, 0.3):
+            hist.record(value)
+        assert hist.count == 3
+        assert hist.mean == pytest.approx(0.2)
+
+    def test_deterministic_across_orderings(self):
+        values = [0.0003, 0.02, 0.4, 0.0007, 0.02, 1.5]
+        a, b = LatencyHistogram(), LatencyHistogram()
+        for value in values:
+            a.record(value)
+        for value in reversed(values):
+            b.record(value)
+        for p in (50, 95, 99):
+            assert a.percentile(p) == b.percentile(p)
+
+
+class TestMergeSnapshotTime:
+    def test_merge_equals_single_histogram(self):
+        a, b, joint = (LatencyHistogram() for _ in range(3))
+        for value in (0.001, 0.05, 0.2):
+            a.record(value)
+            joint.record(value)
+        for value in (0.0004, 0.8):
+            b.record(value)
+            joint.record(value)
+        a.merge(b)
+        assert a.count == joint.count
+        assert a.mean == pytest.approx(joint.mean)
+        assert a.max == joint.max
+        for p in (50, 95, 99):
+            assert a.percentile(p) == joint.percentile(p)
+
+    def test_merge_rejects_different_bounds(self):
+        with pytest.raises(ConfigurationError):
+            LatencyHistogram(bounds=(1.0,)).merge(LatencyHistogram())
+
+    def test_merge_self_is_noop(self):
+        hist = LatencyHistogram()
+        hist.record(0.5)
+        assert hist.merge(hist).count == 1
+
+    def test_merge_returns_self_for_chaining(self):
+        a, b = LatencyHistogram(), LatencyHistogram()
+        assert a.merge(b) is a
+
+    def test_snapshot_shape(self):
+        hist = LatencyHistogram(bounds=(0.001, 1.0))
+        hist.record(0.0002)
+        snap = hist.snapshot()
+        assert set(snap) == {"count", "mean_s", "max_s", "p50_s", "p95_s",
+                             "p99_s"}
+        assert snap["count"] == 1
+        assert snap["p99_s"] == 0.001
+
+    def test_time_uses_injected_clock(self):
+        ticks = iter([10.0, 10.25])
+        hist = LatencyHistogram(bounds=(0.1, 0.3, 1.0), clock=lambda: next(ticks))
+        with hist.time():
+            pass
+        assert hist.count == 1
+        assert hist.mean == pytest.approx(0.25)
+        assert hist.percentile(50) == 0.3
+
+    def test_time_records_on_exception(self):
+        ticks = iter([0.0, 0.05])
+        hist = LatencyHistogram(bounds=(0.1,), clock=lambda: next(ticks))
+        with pytest.raises(RuntimeError):
+            with hist.time():
+                raise RuntimeError("boom")
+        assert hist.count == 1
+
+    def test_thread_safe_recording(self):
+        hist = LatencyHistogram()
+        per_thread = 500
+
+        def pound():
+            for i in range(per_thread):
+                hist.record((i % 7 + 1) * 1e-4)
+
+        threads = [threading.Thread(target=pound) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert hist.count == 8 * per_thread
